@@ -1,0 +1,52 @@
+// Shared helpers for the experiment benches: fixed-width table printing
+// and campaign result helpers. Each bench binary regenerates one table or
+// figure from the paper's evaluation (see DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/specure.hpp"
+
+namespace specure::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  # %s\n", text.c_str());
+}
+
+/// Iteration at which a campaign first produced a finding whose key
+/// contains `pattern`; 0 when never found.
+inline std::uint64_t first_detection(const core::CampaignResult& result,
+                                     const std::string& pattern) {
+  for (const auto& [key, iteration] : result.first_detection) {
+    if (key.find(pattern) != std::string::npos) return iteration;
+  }
+  return 0;
+}
+
+/// Stop predicate matching a finding-key substring.
+inline auto stop_on(const std::string& pattern) {
+  return [pattern](const core::CampaignResult& r) {
+    return first_detection(r, pattern) != 0;
+  };
+}
+
+/// The paper reports wall-clock hours on a 32-core Xeon running RTL
+/// simulation; our PUT is a fast C++ model, so we report iterations plus a
+/// derived wall-clock using the paper's own scale: SpecDoctor's published
+/// 31 h Spectre campaign defines the iterations-per-hour exchange rate for
+/// a given baseline iteration count.
+inline double derived_hours(std::uint64_t iterations,
+                            std::uint64_t baseline_iterations,
+                            double baseline_hours = 31.0) {
+  if (baseline_iterations == 0) return 0;
+  return baseline_hours * static_cast<double>(iterations) /
+         static_cast<double>(baseline_iterations);
+}
+
+}  // namespace specure::bench

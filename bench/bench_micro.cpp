@@ -1,0 +1,118 @@
+// E7: engineering micro-benchmarks (google-benchmark) for the performance-
+// critical kernels: simulation, snapshot handling, IFG construction, PDLC
+// extraction (both directions), mutation, and LP-coverage accounting.
+#include <benchmark/benchmark.h>
+
+#include "core/coverage_calc.hpp"
+#include "core/mst.hpp"
+#include "core/offline.hpp"
+#include "fuzz/mutator.hpp"
+#include "riscv/decode.hpp"
+#include "riscv/program.hpp"
+#include "sim/core.hpp"
+#include "sim/structure.hpp"
+
+using namespace specure;
+
+namespace {
+
+const sim::Simulator& shared_simulator() {
+  static sim::Simulator sim{sim::CoreConfig{}};
+  return sim;
+}
+
+void BM_SimulatorRun(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto program =
+      riscv::random_program(rng, static_cast<std::size_t>(state.range(0)));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto run = shared_simulator().run(program);
+    cycles += run.cycles;
+    benchmark::DoNotOptimize(run.trace.size());
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorRun)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_SnapshotDiff(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto program = riscv::random_program(rng, 96);
+  const auto run = shared_simulator().run(program);
+  const auto& a = run.trace[0];
+  const auto& b = run.trace[run.trace.size() - 1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot::diff(a, b).size());
+  }
+}
+BENCHMARK(BM_SnapshotDiff);
+
+void BM_TraceDeltasBuild(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto run = shared_simulator().run(riscv::random_program(rng, 96));
+  for (auto _ : state) {
+    snapshot::TraceDeltas deltas(run.trace);
+    benchmark::DoNotOptimize(&deltas);
+  }
+}
+BENCHMARK(BM_TraceDeltasBuild);
+
+void BM_IfgBuild(benchmark::State& state) {
+  const sim::CoreConfig cfg;
+  for (auto _ : state) {
+    const auto g = sim::build_ifg(cfg);
+    benchmark::DoNotOptimize(g.node_count());
+  }
+}
+BENCHMARK(BM_IfgBuild);
+
+void BM_PdlcExtract(benchmark::State& state) {
+  const auto g = sim::build_ifg(sim::CoreConfig{});
+  ift::PdlcOptions opts;
+  opts.reverse = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ift::extract_pdlc(g, opts).size());
+  }
+  state.SetLabel(opts.reverse ? "reverse" : "forward");
+}
+BENCHMARK(BM_PdlcExtract)->Arg(1)->Arg(0);
+
+void BM_Mutate(benchmark::State& state) {
+  util::Rng rng(4);
+  auto program = riscv::random_program(rng, 96);
+  for (auto _ : state) {
+    program = fuzz::mutate(program, rng);
+    benchmark::DoNotOptimize(program.code.size());
+  }
+}
+BENCHMARK(BM_Mutate);
+
+void BM_DecodeThroughput(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<std::uint32_t> words(4096);
+  for (auto& w : words) w = static_cast<std::uint32_t>(rng.next());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(riscv::decode(words[i++ & 4095]).op);
+  }
+}
+BENCHMARK(BM_DecodeThroughput);
+
+void BM_LpCoverageUpdate(benchmark::State& state) {
+  const auto off = core::run_offline_phase(sim::CoreConfig{});
+  util::Rng rng(6);
+  const auto run = shared_simulator().run(riscv::random_program(rng, 96));
+  const auto windows = core::extract_mst(run.trace);
+  const snapshot::TraceDeltas deltas(run.trace);
+  for (auto _ : state) {
+    core::LpCoverageMap lp(off.ifg, off.pdlc,
+                           shared_simulator().signal_db());
+    benchmark::DoNotOptimize(lp.update(deltas, windows));
+  }
+}
+BENCHMARK(BM_LpCoverageUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

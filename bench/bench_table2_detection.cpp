@@ -1,0 +1,169 @@
+// E4 (Table 2): vulnerability-detection effectiveness matrix —
+// Specure vs the SpecDoctor-like differential fuzzer [11] and the
+// bounded-exhaustive checker [14] on Spectre v1, Spectre v2, and the
+// emulated (M)WAIT and Zenbleed vulnerabilities.
+//
+// Expected shape (paper Table 2): Specure detects all four; the baselines
+// detect at most the Spectre pair — SpecDoctor's varied-secret comparison
+// cannot see leaks that do not reflect the secret value and its
+// instrumentation does not cover the timer CSR or the register file; the
+// exhaustive method's reduced alphabet cannot reach the CSR-armed bugs
+// and its budget explodes first.
+//
+// Environment knobs: SPECURE_T2_MWAIT_BUDGET (default 60000),
+// SPECURE_T2_BUDGET (default 12000) scale the fuzzing budgets.
+#include <cstdlib>
+
+#include "baseline/exhaustive.hpp"
+#include "baseline/specdoctor.hpp"
+#include "bench_common.hpp"
+#include "riscv/decode.hpp"
+
+using namespace specure;
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+struct Cell {
+  bool detected = false;
+  std::uint64_t iterations = 0;
+};
+
+const char* mark(const Cell& c) { return c.detected ? "Y" : "-"; }
+
+/// Specure campaign against one vulnerability configuration; `pattern`
+/// selects the finding key; for the Spectre split the window-opening
+/// instruction distinguishes v1 (conditional branch) from v2 (indirect).
+Cell run_specure(const sim::VulnConfig& vuln, bool monitor_cache,
+                 const std::string& pattern, bool want_indirect_opener,
+                 std::uint64_t budget, bool match_opener = false) {
+  core::EngineOptions opts;
+  opts.core.vuln = vuln;
+  opts.detector.monitor_cache = monitor_cache;
+  opts.rng_seed = 1;
+  core::SpecureEngine engine(opts);
+
+  Cell cell;
+  engine.run(budget, [&](const core::CampaignResult& r) {
+    for (const auto& v : r.vulns) {
+      if (core::finding_key(v).find(pattern) == std::string::npos) continue;
+      if (match_opener &&
+          v.window.has_indirect_opener() != want_indirect_opener) {
+        continue;
+      }
+      cell.detected = true;
+      cell.iterations = r.history.size();
+      return true;
+    }
+    return false;
+  });
+  return cell;
+}
+
+Cell run_specdoctor(const sim::VulnConfig& vuln, const std::string& component,
+                    std::uint64_t budget) {
+  baseline::SpecdoctorOptions opts;
+  opts.core.vuln = vuln;
+  opts.rng_seed = 7;
+  baseline::SpecdoctorFuzzer fuzzer(opts);
+  Cell cell;
+  const auto res =
+      fuzzer.run(budget, [&](const baseline::SpecdoctorResult& r) {
+        for (const auto& f : r.findings) {
+          if (component.empty() ||
+              f.component.find(component) != std::string::npos) {
+            cell.detected = true;
+            cell.iterations = f.iteration;
+            return true;
+          }
+        }
+        return false;
+      });
+  (void)res;
+  return cell;
+}
+
+Cell run_exhaustive(const sim::VulnConfig& vuln, const std::string& pattern,
+                    bool want_indirect_opener) {
+  baseline::ExhaustiveOptions opts;
+  opts.core.vuln = vuln;
+  opts.max_depth = 4;
+  opts.state_budget = 1500;
+  baseline::ExhaustiveChecker checker(opts);
+  const auto res = checker.run();
+  Cell cell;
+  for (const auto& f : res.findings) {
+    if (core::finding_key(f).find(pattern) == std::string::npos) continue;
+    if (pattern == "cache-residue" &&
+        f.window.has_indirect_opener() != want_indirect_opener) {
+      continue;
+    }
+    cell.detected = true;
+    cell.iterations = res.sequences_tried;
+    break;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E4 / Table 2: detection effectiveness (Y=detected)");
+  const std::uint64_t budget = env_u64("SPECURE_T2_BUDGET", 12000);
+  const std::uint64_t mwait_budget =
+      env_u64("SPECURE_T2_MWAIT_BUDGET", 60000);
+
+  sim::VulnConfig plain{};
+  sim::VulnConfig mwait{};
+  mwait.mwait_emulation = true;
+  sim::VulnConfig zenbleed{};
+  zenbleed.zenbleed_emulation = true;
+
+  // --- SpecDoctor-like [11] -------------------------------------------
+  const Cell sd_v1 = run_specdoctor(plain, "core.dcache.", 5000);
+  const Cell sd_v2 = run_specdoctor(plain, "core.bp.", 5000);
+  const Cell sd_mw = run_specdoctor(mwait, "csr", 1000);      // blind
+  const Cell sd_zb = run_specdoctor(zenbleed, "rf", 1000);    // blind
+
+  // --- Bounded exhaustive [14] ----------------------------------------
+  const Cell ex_v1 = run_exhaustive(plain, "cache-residue", false);
+  const Cell ex_v2 = run_exhaustive(plain, "cache-residue", true);
+  const Cell ex_mw = run_exhaustive(mwait, "mwait_timer", false);
+  const Cell ex_zb = run_exhaustive(zenbleed, "core.rf.", false);
+
+  // --- Specure ----------------------------------------------------------
+  const Cell sp_v1 =
+      run_specure(plain, true, "cache-residue", false, budget, true);
+  const Cell sp_v2 =
+      run_specure(plain, true, "cache-residue", true, budget, true);
+  const Cell sp_mw = run_specure(mwait, false, "mwait_timer", false,
+                                 mwait_budget);
+  const Cell sp_zb = run_specure(zenbleed, false, "core.rf.", false, budget);
+
+  std::printf("  %-18s %-10s %-10s %-12s %-12s\n", "Tool", "Spectre-v1",
+              "Spectre-v2", "(M)WAIT e.m.", "Zenbleed e.m.");
+  std::printf("  %-18s %-10s %-10s %-12s %-12s\n", "SpecDoctor-like[11]",
+              mark(sd_v1), mark(sd_v2), mark(sd_mw), mark(sd_zb));
+  std::printf("  %-18s %-10s %-10s %-12s %-12s\n", "Exhaustive[14]",
+              mark(ex_v1), mark(ex_v2), mark(ex_mw), mark(ex_zb));
+  std::printf("  %-18s %-10s %-10s %-12s %-12s\n", "Specure", mark(sp_v1),
+              mark(sp_v2), mark(sp_mw), mark(sp_zb));
+
+  std::printf("\n  Specure first-detection iterations: v1=%llu v2=%llu "
+              "mwait=%llu zenbleed=%llu\n",
+              (unsigned long long)sp_v1.iterations,
+              (unsigned long long)sp_v2.iterations,
+              (unsigned long long)sp_mw.iterations,
+              (unsigned long long)sp_zb.iterations);
+  bench::note("paper: Specure detects all four; SpecDoctor cannot detect the");
+  bench::note("emulated pair within 24h; exhaustive methods hit state explosion.");
+  if (!sp_mw.detected) {
+    bench::note("(M)WAIT not found within budget — raise "
+                "SPECURE_T2_MWAIT_BUDGET (paper needed 14h, its longest run)");
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// RTL IFT audit: the hardware-agnostic path of the offline phase.
+//
+// Specure's front-end is not tied to MiniBOOM: any synthesizable-subset
+// Verilog design can be parsed, elaborated, turned into an IFG, labeled
+// with the architectural-register database and searched for potential
+// direct leakage channels. This example audits a small hand-written
+// pipelined core fragment with a deliberately-planted direct path from a
+// line-fill buffer into an architectural register, prints every PDLC with
+// its witness path, and writes the IFG as ifg.dot (Graphviz).
+//
+// Build & run:  ./build/examples/rtl_ift_audit
+#include <cstdio>
+#include <fstream>
+
+#include "core/offline.hpp"
+#include "ift/arch_regs.hpp"
+
+namespace {
+
+// A compact write-back pipeline fragment: fetch/decode stubs, a fill
+// buffer in the load unit (microarchitectural), the architectural
+// register x5, and the mwait-style CSR timer with a planted direct path
+// from the cache metadata.
+constexpr const char* kDesign = R"(
+// Audited design: wb_core
+module fill_buffer(input clk, input [63:0] refill, output [63:0] data);
+  reg [63:0] buf_q;
+  always @(posedge clk) buf_q <= refill;
+  assign data = buf_q;
+endmodule
+
+module regfile(input clk, input we, input [63:0] wdata, output [63:0] x5);
+  reg [63:0] x5;
+  always @(posedge clk)
+    if (we) x5 <= wdata;
+endmodule
+
+module csr_unit(input clk, input line_change, output [63:0] mwait_timer);
+  reg [63:0] mwait_timer;
+  always @(posedge clk)
+    if (line_change) mwait_timer <= 64'd0;
+    else mwait_timer <= mwait_timer - 64'd1;
+endmodule
+
+module wb_core(input clk, input [63:0] mem_refill, input wb_en,
+               input line_change, output [63:0] arch_x5,
+               output [63:0] timer);
+  wire [63:0] fill_data;
+  fill_buffer fb (.clk(clk), .refill(mem_refill), .data(fill_data));
+  regfile rf (.clk(clk), .we(wb_en), .wdata(fill_data), .x5(arch_x5));
+  csr_unit csrs (.clk(clk), .line_change(line_change),
+                 .mwait_timer(timer));
+endmodule
+)";
+
+}  // namespace
+
+int main() {
+  using namespace specure;
+
+  const core::OfflineResult off = core::run_offline_phase_rtl(
+      kDesign, "wb_core", ift::ArchRegDb::riscv());
+
+  std::printf("audited module: wb_core\n");
+  std::printf("  IFG: %zu signals, %zu flow edges (%.4fs)\n",
+              off.ifg.node_count(), off.ifg.edge_count(), off.ifg_seconds);
+
+  std::size_t arch = 0, uarch_regs = 0;
+  for (ift::NodeId i = 0; i < off.ifg.node_count(); ++i) {
+    const auto& node = off.ifg.node(i);
+    if (node.role == ift::Role::kArchitectural) ++arch;
+    if (node.role == ift::Role::kMicroarchitectural && node.is_register) {
+      ++uarch_regs;
+    }
+  }
+  std::printf("  architectural sinks: %zu, microarchitectural registers: "
+              "%zu\n",
+              arch, uarch_regs);
+
+  std::printf("\npotential direct leakage channels (%zu):\n",
+              off.pdlc.size());
+  for (const auto& channel : off.pdlc.channels()) {
+    std::printf("  %s ->", off.ifg.node(channel.source).name.c_str());
+    for (std::size_t i = 1; i + 1 < channel.path.size(); ++i) {
+      std::printf(" %s ->", off.ifg.node(channel.path[i]).name.c_str());
+    }
+    std::printf(" %s\n", off.ifg.node(channel.sink).name.c_str());
+  }
+
+  std::ofstream dot("ifg.dot");
+  off.ifg.write_dot(dot);
+  std::printf("\nIFG written to ifg.dot (render with: dot -Tsvg ifg.dot)\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Zenbleed forensics: a single-input deep dive instead of a fuzzing
+// campaign. Builds the Zenbleed proof-of-concept by hand with the
+// ProgramBuilder API (arm zenbleed_en, open a mispredicted window, write a
+// register on the wrong path), runs it on MiniBOOM with the emulation
+// compiled in, and walks the whole analysis pipeline manually:
+// MST extraction -> leakage detection -> vulnerability report with the
+// PDLC-witnessed root cause. Also dumps the waveform as zenbleed.vcd for
+// inspection in GTKWave.
+//
+// Build & run:  ./build/examples/zenbleed_forensics
+#include <cstdio>
+
+#include "core/leakage.hpp"
+#include "core/mst.hpp"
+#include "core/offline.hpp"
+#include "core/vuln_detect.hpp"
+#include "riscv/disasm.hpp"
+#include "riscv/program.hpp"
+#include "snapshot/vcd.hpp"
+
+int main() {
+  using namespace specure;
+  using riscv::Op;
+  namespace csr = riscv::csr;
+  constexpr std::uint8_t A0 = 10, T0 = 5, T1 = 6, T2 = 7;
+
+  // --- the proof-of-concept input --------------------------------------
+  riscv::ProgramBuilder b;
+  b.li(T1, 1);
+  b.csrrw(0, csr::kZenbleedEn, T1);   // arm the vulnerable optimization
+  b.li(A0, static_cast<std::int64_t>(riscv::kDataBase));
+  b.li(T0, 1);
+  b.branch(Op::kBeq, T0, T0, "safe"); // always taken; predicted not-taken
+  b.addi(T2, 0, 0x5e);                // transient write — must roll back
+  b.label("safe");
+  b.nop();
+  b.ecall();
+  const riscv::Program poc = b.build();
+
+  std::printf("PoC program (%zu instructions):\n", poc.code.size());
+  for (std::size_t i = 0; i < poc.code.size(); ++i) {
+    const std::uint64_t pc = riscv::kCodeBase + i * 4;
+    std::printf("  %llx: %s\n", static_cast<unsigned long long>(pc),
+                riscv::disassemble(poc.code[i], pc).c_str());
+  }
+
+  // --- PUT with the Zenbleed emulation ----------------------------------
+  sim::CoreConfig cfg;
+  cfg.vuln.zenbleed_emulation = true;
+
+  const core::OfflineResult offline = core::run_offline_phase(cfg);
+  sim::Simulator simulator(cfg);
+  const sim::RunResult run = simulator.run(poc);
+
+  const auto windows = core::extract_mst(run.trace);
+  std::printf("\n%zu speculative window(s):\n", windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    std::printf("  %s%s\n", core::format_mst_row(i + 1, windows[i]).c_str(),
+                windows[i].mispredicted ? "   <- misspeculated" : "");
+  }
+
+  const auto leaks = core::detect_leakage(run.trace, windows);
+  for (const auto& leak : leaks) {
+    std::printf("\nwindow [%llu, %llu]: %zu signals changed across the "
+                "rolled-back window\n",
+                static_cast<unsigned long long>(leak.window.start_cycle),
+                static_cast<unsigned long long>(leak.window.end_cycle),
+                leak.deltas.size());
+  }
+
+  core::VulnerabilityDetector detector(offline.ifg, offline.pdlc,
+                                       simulator.signal_db(), {});
+  const auto reports = detector.analyze(run, windows);
+  std::printf("\n%zu vulnerability report(s):\n", reports.size());
+  for (const auto& rep : reports) {
+    std::printf("  [%s] architectural sink %s: 0x%llx -> 0x%llx (%s)\n",
+                core::vuln_kind_name(rep.kind).data(), rep.sink_signal.c_str(),
+                static_cast<unsigned long long>(rep.before),
+                static_cast<unsigned long long>(rep.after), rep.cwe.c_str());
+    for (const auto& rc : rep.root_causes) {
+      std::printf("      leakage path:");
+      for (const auto& hop : rc.path) std::printf(" %s ->", hop.c_str());
+      std::printf(" (sink)\n");
+    }
+  }
+
+  snapshot::write_vcd_file("zenbleed.vcd", run.trace, "miniboom");
+  std::printf("\nwaveform written to zenbleed.vcd (%zu cycles)\n",
+              run.trace.size());
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "baseline/specdoctor.hpp"
+
+#include <chrono>
+
+#include "util/strings.hpp"
+
+namespace specure::baseline {
+
+namespace {
+
+/// Modules SpecDoctor instruments, selected from known attack classes.
+constexpr const char* kInstrumented[] = {"core.dcache.", "core.bp."};
+
+riscv::Program with_secret(const riscv::Program& p, std::size_t offset,
+                           std::size_t len, std::uint8_t fill) {
+  riscv::Program out = p;
+  if (out.data.size() < offset + len) out.data.resize(offset + len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.data[offset + i] = static_cast<std::uint8_t>(fill + i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t component_hash(const sim::RunResult& run,
+                             const snapshot::SignalDb& db,
+                             const std::string& prefix) {
+  const auto& last = run.trace[run.trace.size() - 1];
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (snapshot::SignalId i = 0; i < db.size(); ++i) {
+    const std::string& name = db.info(i).name;
+    if (!util::starts_with(name, prefix)) continue;
+    // Hash *metadata* state only (tags/valid/LRU, predictor tables): the
+    // line-content digests reflect the secret bytes directly, which would
+    // make any cached secret diverge trivially — SpecDoctor instruments
+    // the residency/shape state that side channels observe.
+    if (util::starts_with(name, "core.dcache.data")) continue;
+    h ^= last.values[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+SpecdoctorFuzzer::SpecdoctorFuzzer(const SpecdoctorOptions& options)
+    : options_(options), sim_(options.core) {}
+
+SpecdoctorResult SpecdoctorFuzzer::run(
+    std::uint64_t iterations,
+    const std::function<bool(const SpecdoctorResult&)>& stop) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SpecdoctorResult result;
+  fuzz::Fuzzer fuzzer(options_.fuzzer, options_.rng_seed);
+  sim::CoverageRecorder cov;
+  std::vector<std::string> reported;
+
+  for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
+    result.iterations_run = iter;
+    const riscv::Program base = fuzzer.next();
+    const riscv::Program run_a =
+        with_secret(base, options_.secret_offset, options_.secret_len, 0x11);
+    const riscv::Program run_b =
+        with_secret(base, options_.secret_offset, options_.secret_len, 0xee);
+
+    const sim::RunResult res_a = sim_.run(run_a);
+    const sim::RunResult res_b = sim_.run(run_b);
+
+    // Coverage guidance: plain code coverage of the first run.
+    const bool interesting = cov.merge(res_a.coverage) > 0;
+    if (interesting) fuzzer.report_interesting(base);
+
+    // Differential check over the instrumented modules only. Divergence in
+    // the final architectural registers would be caught by SpecDoctor's
+    // architectural comparison as well, but only when the secret reaches
+    // them on a *committed* path — which is functional dataflow, not a
+    // transient leak; we mirror the module-hash mechanism.
+    for (const char* prefix : kInstrumented) {
+      if (component_hash(res_a, sim_.signal_db(), prefix) !=
+          component_hash(res_b, sim_.signal_db(), prefix)) {
+        bool already = false;
+        for (const auto& f : result.findings) already |= f.component == prefix;
+        if (!already) result.findings.push_back({prefix, iter});
+      }
+    }
+    if (stop && stop(result)) break;
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+}  // namespace specure::baseline

@@ -1,0 +1,47 @@
+// Coverage Calculator — §3.2: the novel Leakage Path (LP) coverage metric.
+//
+// LP coverage counts, per PDLC, whether the channel's signals toggled
+// inside a speculative window — guiding the fuzzer toward inputs that
+// exercise potential leakage channels *while speculating*, instead of
+// generic code coverage. Two covering policies are provided (DESIGN.md
+// D1): kAllSignals (every signal on the witness path toggled within one
+// window) and kEndpoints (source and sink toggled within one window).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mst.hpp"
+#include "ift/pdlc.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace specure::core {
+
+enum class LpPolicy : std::uint8_t { kAllSignals, kEndpoints };
+
+class LpCoverageMap {
+ public:
+  LpCoverageMap(const ift::Ifg& ifg, const ift::PdlcList& pdlc,
+                const snapshot::SignalDb& db,
+                LpPolicy policy = LpPolicy::kAllSignals);
+
+  /// Account one run: returns the number of *newly* covered channels.
+  std::size_t update(const snapshot::Trace& trace,
+                     const std::vector<SpecWindow>& windows);
+
+  /// Same, with precomputed per-cycle deltas (cheap for many windows).
+  std::size_t update(const snapshot::TraceDeltas& deltas,
+                     const std::vector<SpecWindow>& windows);
+
+  std::size_t covered() const { return covered_count_; }
+  std::size_t total() const { return covered_.size(); }
+  bool is_covered(std::size_t channel) const { return covered_[channel]; }
+
+ private:
+  /// Per channel, the snapshot signal ids of its path (policy-dependent).
+  std::vector<std::vector<snapshot::SignalId>> channel_signals_;
+  std::vector<bool> covered_;
+  std::size_t covered_count_ = 0;
+};
+
+}  // namespace specure::core

@@ -1,0 +1,19 @@
+#include "core/leakage.hpp"
+
+namespace specure::core {
+
+std::vector<WindowLeakage> detect_leakage(
+    const snapshot::Trace& trace, const std::vector<SpecWindow>& windows) {
+  std::vector<WindowLeakage> out;
+  for (const auto& w : windows) {
+    if (!w.mispredicted) continue;
+    WindowLeakage leak;
+    leak.window = w;
+    leak.deltas = snapshot::diff(trace.at_cycle(w.start_cycle),
+                                 trace.at_cycle(w.end_cycle));
+    out.push_back(std::move(leak));
+  }
+  return out;
+}
+
+}  // namespace specure::core

@@ -1,0 +1,27 @@
+// Leakage Detector — §3.2 Step 2: for each misspeculated window, diff the
+// snapshots at the window's start and end. The differing signals are the
+// potential information-leakage locations handed to the Vulnerability
+// Detector.
+#pragma once
+
+#include <vector>
+
+#include "core/mst.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace specure::core {
+
+struct WindowLeakage {
+  SpecWindow window;
+  /// Signals whose value differs between window start and end — i.e.
+  /// state changes that *survived* the rollback.
+  std::vector<snapshot::SignalDelta> deltas;
+};
+
+/// Analyze every misspeculated window in the trace. Correctly-predicted
+/// windows are skipped: their younger instructions were real work and the
+/// hyper-property only concerns misspeculated execution.
+std::vector<WindowLeakage> detect_leakage(
+    const snapshot::Trace& trace, const std::vector<SpecWindow>& windows);
+
+}  // namespace specure::core

@@ -1,0 +1,64 @@
+#include "core/mst.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "riscv/disasm.hpp"
+#include "util/strings.hpp"
+
+namespace specure::core {
+
+bool SpecWindow::has_indirect_opener() const {
+  return std::any_of(opener_insts.begin(), opener_insts.end(),
+                     [](std::uint32_t w) {
+                       return riscv::decode(w).op == riscv::Op::kJalr;
+                     });
+}
+
+std::vector<SpecWindow> extract_mst(const snapshot::Trace& trace) {
+  std::vector<SpecWindow> out;
+  if (trace.empty()) return out;
+  const auto& db = trace.db();
+  const auto unsafe_id = db.id_of("core.rob.unsafe");
+  const auto pc_id = db.id_of("core.rob.spec_pc");
+  const auto inst_id = db.id_of("core.rob.spec_inst");
+  const auto mispred_id = db.id_of("core.rob.brupdate_mispredict");
+
+  bool open = false;
+  SpecWindow cur;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& snap = trace[i];
+    const bool unsafe = snap.values[unsafe_id] != 0;
+    if (unsafe && !open) {
+      open = true;
+      cur = SpecWindow{};
+      cur.start_cycle = snap.cycle;
+      cur.pc = snap.values[pc_id];
+      cur.inst = static_cast<std::uint32_t>(snap.values[inst_id]);
+    }
+    if (open && unsafe) {
+      const auto opener = static_cast<std::uint32_t>(snap.values[inst_id]);
+      if (std::find(cur.opener_insts.begin(), cur.opener_insts.end(),
+                    opener) == cur.opener_insts.end()) {
+        cur.opener_insts.push_back(opener);
+      }
+    }
+    if (open && snap.values[mispred_id] != 0) cur.mispredicted = true;
+    if (!unsafe && open) {
+      open = false;
+      cur.end_cycle = snap.cycle;
+      out.push_back(cur);
+    }
+  }
+  return out;
+}
+
+std::string format_mst_row(std::size_t id, const SpecWindow& w) {
+  std::string hex = util::hex(w.inst, 8);
+  for (char& c : hex) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return std::to_string(id) + "\t" + std::to_string(w.start_cycle) + "\t" +
+         std::to_string(w.end_cycle) + "\t" + hex + "\t" +
+         riscv::disassemble(w.inst, w.pc);
+}
+
+}  // namespace specure::core

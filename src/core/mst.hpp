@@ -1,0 +1,42 @@
+// Misspeculation Table (MST) extraction — §3.2 Leakage Detector, Step 1.
+//
+// Speculative windows are recovered purely from the PUT's snapshot trace
+// by watching the ROB's window indicator signals (core.rob.unsafe,
+// core.rob.spec_pc/spec_inst and the brupdate pulses), exactly as the
+// paper does with BOOM's RoB in-queue "unsafe" and "brupdate" signals.
+// Each maximal unsafe interval yields one MST row (paper Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace specure::core {
+
+struct SpecWindow {
+  std::uint64_t start_cycle = 0;  ///< cycle the window opened (unsafe rose)
+  std::uint64_t end_cycle = 0;    ///< first cycle after the window closed
+  std::uint64_t pc = 0;           ///< PC of the window-opening instruction
+  std::uint32_t inst = 0;         ///< raw instruction word
+  bool mispredicted = false;      ///< a brupdate flagged a misprediction
+  /// All distinct control instructions observed as the oldest-unresolved
+  /// window opener while the window was live (overlapping speculation
+  /// merges into one unsafe interval; rob.spec_inst walks through the
+  /// openers as older branches resolve).
+  std::vector<std::uint32_t> opener_insts;
+
+  /// True if any opener is an indirect jump (Spectre v2-class window).
+  bool has_indirect_opener() const;
+};
+
+/// Scan a trace and build the MST. Windows still open at end-of-trace are
+/// dropped (they never resolved, so no before/after pair exists).
+std::vector<SpecWindow> extract_mst(const snapshot::Trace& trace);
+
+/// Render an MST row like the paper's Table 1:
+/// "1  34594  34625  FBEC52E3  BGE S8, T5, 0x800025B0".
+std::string format_mst_row(std::size_t id, const SpecWindow& window);
+
+}  // namespace specure::core

@@ -1,0 +1,46 @@
+#include "core/offline.hpp"
+
+#include "rtl/elaborate.hpp"
+#include "rtl/parser.hpp"
+#include "sim/structure.hpp"
+
+namespace specure::core {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+OfflineResult run_offline_phase(const sim::CoreConfig& config,
+                                const ift::PdlcOptions& options) {
+  OfflineResult out;
+  auto t0 = std::chrono::steady_clock::now();
+  out.ifg = sim::build_ifg(config);
+  out.ifg_seconds = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  out.pdlc = ift::extract_pdlc(out.ifg, options);
+  out.pdlc_seconds = seconds_since(t0);
+  return out;
+}
+
+OfflineResult run_offline_phase_rtl(const std::string& verilog_source,
+                                    const std::string& top_module,
+                                    const ift::ArchRegDb& db,
+                                    const ift::PdlcOptions& options) {
+  OfflineResult out;
+  auto t0 = std::chrono::steady_clock::now();
+  const rtl::Design design = rtl::parse(verilog_source);
+  const rtl::ElaboratedDesign elab = rtl::elaborate(design, top_module);
+  out.ifg = ift::Ifg::from_elaborated(elab);
+  db.label(out.ifg);
+  out.ifg_seconds = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  out.pdlc = ift::extract_pdlc(out.ifg, options);
+  out.pdlc_seconds = seconds_since(t0);
+  return out;
+}
+
+}  // namespace specure::core

@@ -1,0 +1,36 @@
+// Offline Phase (§3.1): derive the PUT's Information Flow Graph and the
+// Potential Direct Leakage Channel list, either from the MiniBOOM
+// structural model or from arbitrary Verilog RTL through the rtl/ift
+// front-end.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "ift/arch_regs.hpp"
+#include "ift/ifg.hpp"
+#include "ift/pdlc.hpp"
+#include "sim/config.hpp"
+
+namespace specure::core {
+
+struct OfflineResult {
+  ift::Ifg ifg;
+  ift::PdlcList pdlc;
+  double ifg_seconds = 0;   ///< IFG extraction time (paper: ~9 min on BOOM)
+  double pdlc_seconds = 0;  ///< PDLC extraction time (paper: ~3 min)
+};
+
+/// Offline phase for the MiniBOOM PUT: the IFG comes from the simulator's
+/// structural self-description (already role-labeled).
+OfflineResult run_offline_phase(const sim::CoreConfig& config,
+                                const ift::PdlcOptions& options = {});
+
+/// Offline phase for external RTL: parse + elaborate the Verilog source,
+/// build the IFG, label architectural registers with `db`, extract PDLC.
+OfflineResult run_offline_phase_rtl(const std::string& verilog_source,
+                                    const std::string& top_module,
+                                    const ift::ArchRegDb& db,
+                                    const ift::PdlcOptions& options = {});
+
+}  // namespace specure::core

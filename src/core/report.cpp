@@ -1,0 +1,147 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "core/mst.hpp"
+#include "riscv/disasm.hpp"
+
+namespace specure::core {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_text_report(std::ostream& os, const CampaignResult& result) {
+  os << "Specure campaign report\n"
+     << "=======================\n"
+     << "iterations:            " << result.history.size() << "\n"
+     << "wall-clock seconds:    " << result.seconds << "\n"
+     << "speculative windows:   " << result.total_windows << " ("
+     << result.mispredicted_windows << " misspeculated)\n"
+     << "PDLC channels:         " << result.pdlc_total << "\n";
+  if (!result.history.empty()) {
+    os << "LP coverage:           " << result.history.back().covered_pdlc
+       << "\n"
+       << "code coverage points:  " << result.history.back().coverage_points
+       << "\n";
+  }
+  os << "findings:              " << result.vulns.size() << "\n\n";
+
+  for (std::size_t i = 0; i < result.vulns.size(); ++i) {
+    const VulnReport& v = result.vulns[i];
+    os << "[" << i + 1 << "] " << vuln_kind_name(v.kind) << " (" << v.cwe
+       << ")\n"
+       << "    sink:   " << v.sink_signal << " (0x" << std::hex << v.before
+       << " -> 0x" << v.after << std::dec << ")\n"
+       << "    window: cycles [" << v.window.start_cycle << ", "
+       << v.window.end_cycle << "], opened by "
+       << riscv::disassemble(v.window.inst, v.window.pc) << "\n";
+    auto it = result.first_detection.find(finding_key(v));
+    if (it != result.first_detection.end()) {
+      os << "    first detected at iteration " << it->second << "\n";
+    }
+    for (const RootCause& rc : v.root_causes) {
+      os << "    root cause: " << rc.source_signal;
+      if (rc.path.size() > 1) {
+        os << " (path:";
+        for (const auto& hop : rc.path) os << " " << hop;
+        os << ")";
+      }
+      os << "\n";
+    }
+  }
+
+  if (!result.mst_sample.empty()) {
+    os << "\nMisspeculation Table (sample)\n"
+       << "ID\tStart\tEnd\tInstruction\tInstruction(Readable)\n";
+    for (std::size_t i = 0; i < result.mst_sample.size(); ++i) {
+      os << format_mst_row(i + 1, result.mst_sample[i]) << "\n";
+    }
+  }
+}
+
+void write_json_report(std::ostream& os, const CampaignResult& result,
+                       std::size_t history_points) {
+  os << "{\n  \"campaign\": {"
+     << "\"iterations\": " << result.history.size()
+     << ", \"seconds\": " << result.seconds
+     << ", \"windows\": " << result.total_windows
+     << ", \"mispredicted_windows\": " << result.mispredicted_windows
+     << ", \"pdlc_total\": " << result.pdlc_total;
+  if (!result.history.empty()) {
+    os << ", \"covered_pdlc\": " << result.history.back().covered_pdlc
+       << ", \"coverage_points\": " << result.history.back().coverage_points;
+  }
+  os << "},\n  \"findings\": [";
+  for (std::size_t i = 0; i < result.vulns.size(); ++i) {
+    const VulnReport& v = result.vulns[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"kind\": \""
+       << vuln_kind_name(v.kind) << "\", \"key\": \""
+       << json_escape(finding_key(v)) << "\", \"cwe\": \""
+       << json_escape(v.cwe) << "\", \"sink\": \""
+       << json_escape(v.sink_signal) << "\", \"before\": " << v.before
+       << ", \"after\": " << v.after
+       << ", \"window\": {\"start\": " << v.window.start_cycle
+       << ", \"end\": " << v.window.end_cycle
+       << ", \"opener\": \""
+       << json_escape(riscv::disassemble(v.window.inst, v.window.pc))
+       << "\"}, \"root_causes\": [";
+    for (std::size_t r = 0; r < v.root_causes.size(); ++r) {
+      os << (r == 0 ? "" : ", ") << "\""
+         << json_escape(v.root_causes[r].source_signal) << "\"";
+    }
+    os << "]}";
+  }
+  os << "\n  ],\n  \"mst\": [";
+  for (std::size_t i = 0; i < result.mst_sample.size(); ++i) {
+    const SpecWindow& w = result.mst_sample[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"start\": " << w.start_cycle
+       << ", \"end\": " << w.end_cycle << ", \"inst\": " << w.inst
+       << ", \"readable\": \""
+       << json_escape(riscv::disassemble(w.inst, w.pc)) << "\"}";
+  }
+  os << "\n  ],\n  \"history\": [";
+  const std::size_t stride =
+      result.history.empty()
+          ? 1
+          : std::max<std::size_t>(1, result.history.size() / history_points);
+  bool first = true;
+  for (std::size_t i = stride - 1; i < result.history.size(); i += stride) {
+    const IterationRecord& rec = result.history[i];
+    os << (first ? "" : ",") << "\n    {\"iteration\": " << rec.iteration
+       << ", \"covered_pdlc\": " << rec.covered_pdlc
+       << ", \"coverage_points\": " << rec.coverage_points
+       << ", \"vulns\": " << rec.vulns_found << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string json_report(const CampaignResult& result,
+                        std::size_t history_points) {
+  std::ostringstream os;
+  write_json_report(os, result, history_points);
+  return os.str();
+}
+
+}  // namespace specure::core

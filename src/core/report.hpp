@@ -1,0 +1,30 @@
+// Campaign report rendering: human-readable text and machine-readable
+// JSON for CI pipelines / triage tooling. Covers the vulnerability
+// findings (with root causes and windows), the Misspeculation Table
+// sample and the campaign statistics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/specure.hpp"
+
+namespace specure::core {
+
+/// Human-readable campaign report (the paper's "root cause report").
+void write_text_report(std::ostream& os, const CampaignResult& result);
+
+/// JSON document with the full campaign result. Stable schema:
+/// { "campaign": {...}, "findings": [...], "mst": [...], "history": [...] }
+/// History is downsampled to at most `history_points` entries.
+void write_json_report(std::ostream& os, const CampaignResult& result,
+                       std::size_t history_points = 64);
+
+/// Convenience: JSON to string.
+std::string json_report(const CampaignResult& result,
+                        std::size_t history_points = 64);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& text);
+
+}  // namespace specure::core

@@ -1,0 +1,91 @@
+#include "core/specure.hpp"
+
+#include <chrono>
+
+namespace specure::core {
+
+std::string finding_key(const VulnReport& report) {
+  std::string key =
+      std::string(vuln_kind_name(report.kind)) + ":" + report.sink_signal;
+  if (report.kind == VulnKind::kCacheResidue) {
+    // Conditional-branch (v1-class) and indirect-jump (v2-class) windows
+    // are distinct vulnerabilities even when the residue lands in the
+    // same structure.
+    key += report.window.has_indirect_opener() ? ":indirect" : ":conditional";
+  }
+  return key;
+}
+
+SpecureEngine::SpecureEngine(const EngineOptions& options)
+    : options_(options),
+      offline_(run_offline_phase(options.core, options.pdlc)),
+      sim_(options.core) {}
+
+CampaignResult SpecureEngine::run(
+    std::uint64_t iterations,
+    const std::function<bool(const CampaignResult&)>& stop) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CampaignResult result;
+  result.pdlc_total = offline_.pdlc.size();
+
+  fuzz::Fuzzer fuzzer(options_.fuzzer, options_.rng_seed);
+  LpCoverageMap lp(offline_.ifg, offline_.pdlc, sim_.signal_db(),
+                   options_.lp_policy);
+  VulnerabilityDetector detector(offline_.ifg, offline_.pdlc,
+                                 sim_.signal_db(), options_.detector);
+  sim::CoverageRecorder code_cov;
+
+  for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
+    const riscv::Program program = fuzzer.next();
+    const sim::RunResult run = sim_.run(program);
+    const std::vector<SpecWindow> windows = extract_mst(run.trace);
+    const snapshot::TraceDeltas deltas(run.trace);
+
+    result.total_windows += windows.size();
+    for (const auto& w : windows) {
+      result.mispredicted_windows += w.mispredicted;
+      if (result.mst_sample.size() < options_.mst_sample_rows &&
+          w.mispredicted) {
+        result.mst_sample.push_back(w);
+      }
+    }
+
+    const std::size_t lp_new = lp.update(deltas, windows);
+    const std::size_t cov_new = code_cov.merge(run.coverage);
+
+    // Vulnerability detection runs regardless of the guidance mode.
+    bool new_finding = false;
+    for (auto& report : detector.analyze(run, windows)) {
+      const std::string key = finding_key(report);
+      if (result.first_detection.emplace(key, iter).second) {
+        result.vulns.push_back(std::move(report));
+        new_finding = true;
+      }
+    }
+
+    // Feedback: the configured coverage metric guides corpus growth; a
+    // vulnerability always counts as interesting (Figure 1's
+    // "Vulnerability Feedback" arrow).
+    const bool interesting =
+        new_finding || (options_.feedback == FeedbackMode::kLeakagePath
+                            ? lp_new > 0
+                            : cov_new > 0);
+    if (interesting) fuzzer.report_interesting(program);
+
+    IterationRecord rec;
+    rec.iteration = iter;
+    rec.covered_pdlc = lp.covered();
+    rec.coverage_points = code_cov.point_count();
+    rec.vulns_found = result.vulns.size();
+    rec.cycles = run.cycles;
+    result.history.push_back(rec);
+
+    if (stop && stop(result)) break;
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+}  // namespace specure::core

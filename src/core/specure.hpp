@@ -1,0 +1,84 @@
+// SpecureEngine: the Online Phase orchestrator (Figure 1), wiring the
+// Hardware Fuzzer, the Microarchitecture Visualizer (simulation +
+// snapshots), the Leakage Detector, the Vulnerability Detector and the
+// Coverage Calculator into one campaign loop.
+//
+// The engine supports both feedback modes compared in the paper's Figure 2
+// and §4.2: the novel Leakage Path coverage, and the traditional code
+// coverage (toggle/branch/FSM/condition) a TheHuzz-style fuzzer uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/coverage_calc.hpp"
+#include "core/mst.hpp"
+#include "core/offline.hpp"
+#include "core/vuln_detect.hpp"
+#include "fuzz/corpus.hpp"
+#include "sim/core.hpp"
+
+namespace specure::core {
+
+enum class FeedbackMode : std::uint8_t {
+  kLeakagePath,   ///< Specure's LP coverage (novel metric)
+  kCodeCoverage,  ///< traditional coverage, the baseline in Fig. 2
+};
+
+struct EngineOptions {
+  sim::CoreConfig core;
+  fuzz::FuzzerOptions fuzzer;
+  FeedbackMode feedback = FeedbackMode::kLeakagePath;
+  DetectorOptions detector;
+  LpPolicy lp_policy = LpPolicy::kAllSignals;
+  ift::PdlcOptions pdlc;
+  std::uint64_t rng_seed = 1;
+  std::size_t mst_sample_rows = 16;  ///< MST rows retained for reporting
+};
+
+struct IterationRecord {
+  std::uint64_t iteration = 0;
+  std::size_t covered_pdlc = 0;     ///< cumulative LP coverage
+  std::size_t coverage_points = 0;  ///< cumulative code-coverage points
+  std::size_t vulns_found = 0;      ///< cumulative distinct findings
+  std::uint64_t cycles = 0;         ///< simulated cycles this iteration
+};
+
+struct CampaignResult {
+  std::vector<IterationRecord> history;
+  std::vector<VulnReport> vulns;  ///< distinct findings (by kind+sink)
+  /// First-detection iteration per finding key ("direct-leak:core.rf.x7").
+  std::map<std::string, std::uint64_t> first_detection;
+  std::vector<SpecWindow> mst_sample;
+  std::size_t total_windows = 0;
+  std::size_t mispredicted_windows = 0;
+  std::size_t pdlc_total = 0;
+  double seconds = 0;
+};
+
+/// Key used for deduplicating findings across iterations.
+std::string finding_key(const VulnReport& report);
+
+class SpecureEngine {
+ public:
+  explicit SpecureEngine(const EngineOptions& options);
+
+  /// Run `iterations` fuzzing rounds. If `stop` is set, the campaign ends
+  /// early once it returns true (inspected after every iteration).
+  CampaignResult run(std::uint64_t iterations,
+                     const std::function<bool(const CampaignResult&)>& stop =
+                         nullptr);
+
+  const OfflineResult& offline() const { return offline_; }
+  const sim::Simulator& simulator() const { return sim_; }
+
+ private:
+  EngineOptions options_;
+  OfflineResult offline_;
+  sim::Simulator sim_;
+};
+
+}  // namespace specure::core

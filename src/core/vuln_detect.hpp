@@ -1,0 +1,88 @@
+// Vulnerability Detector — §3.2: direct-channel leakage detection without
+// a golden model.
+//
+// A vulnerability is an *architectural* state change across a
+// misspeculated (rolled-back) window that is not explained by the PUT's
+// own commit stream. Each finding is cross-referenced against the PDLC
+// list to name the microarchitectural root cause and a witness leakage
+// path (the paper's root-cause report, CWE-1342).
+//
+// When `monitor_cache` is set (the paper's Spectre experiment: "we added a
+// data cache to the PDLC list"), persistent data-cache changes inside a
+// misspeculated window that coincide with a tainted speculative access are
+// reported as cache-residue findings (Spectre v1/v2 class).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/leakage.hpp"
+#include "ift/pdlc.hpp"
+#include "sim/core.hpp"
+
+namespace specure::core {
+
+enum class VulnKind : std::uint8_t {
+  kDirectLeak,    ///< architectural delta with no commit explanation
+  kCacheResidue,  ///< persistent secret-dependent cache change (Spectre)
+};
+
+struct RootCause {
+  std::string source_signal;          ///< microarchitectural register
+  std::vector<std::string> path;      ///< witness PDLC path source..sink
+};
+
+struct VulnReport {
+  VulnKind kind = VulnKind::kDirectLeak;
+  SpecWindow window;
+  std::string sink_signal;            ///< leaked-to architectural signal
+  std::uint64_t before = 0, after = 0;
+  std::vector<RootCause> root_causes;
+  std::string cwe = "CWE-1342";
+};
+
+struct DetectorOptions {
+  bool monitor_cache = false;  ///< §4.2 Spectre mode
+
+  /// Commit drain horizon (cycles past the window end). Correct-path
+  /// instructions that wrote back inside a window can still be draining
+  /// from the ROB when it closes; their commits land shortly after.
+  /// A commit within this horizon discharges the matching architectural
+  /// delta. Squashed (transient) instructions never commit at any
+  /// horizon, so genuine leaks stay detectable (DESIGN.md D5).
+  std::uint64_t commit_drain_horizon = 48;
+};
+
+class VulnerabilityDetector {
+ public:
+  /// `ifg` and `pdlc` come from the Offline Phase; signal names in the
+  /// trace schema and the IFG must agree (they do for MiniBOOM, both
+  /// derive from sim::describe_signals).
+  VulnerabilityDetector(const ift::Ifg& ifg, const ift::PdlcList& pdlc,
+                        const snapshot::SignalDb& db,
+                        DetectorOptions options = {});
+
+  /// Analyze one simulation run.
+  std::vector<VulnReport> analyze(const sim::RunResult& run,
+                                  const std::vector<SpecWindow>& windows) const;
+
+ private:
+  bool delta_explained_by_commits(
+      const snapshot::SignalDb& db, snapshot::SignalId sig,
+      const std::vector<sim::CommitRecord>& commits, std::uint64_t from,
+      std::uint64_t to) const;
+
+  std::vector<RootCause> find_root_causes(const std::string& sink_name,
+                                          const snapshot::Trace& trace,
+                                          std::uint64_t from,
+                                          std::uint64_t to) const;
+
+  const ift::Ifg& ifg_;
+  const ift::PdlcList& pdlc_;
+  const snapshot::SignalDb& db_;
+  DetectorOptions options_;
+};
+
+std::string_view vuln_kind_name(VulnKind kind);
+
+}  // namespace specure::core

@@ -1,0 +1,89 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+
+namespace specure::fuzz {
+
+void Corpus::add(riscv::Program program, std::string origin,
+                 std::uint64_t iteration) {
+  if (entries_.size() >= max_entries_) {
+    // Evict the lowest-energy entry to bound memory.
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const CorpusEntry& a, const CorpusEntry& b) {
+          return a.energy < b.energy;
+        });
+    *victim = CorpusEntry{};
+    victim->program = std::move(program);
+    victim->origin = std::move(origin);
+    victim->added_iteration = iteration;
+    return;
+  }
+  CorpusEntry e;
+  e.program = std::move(program);
+  e.origin = std::move(origin);
+  e.added_iteration = iteration;
+  entries_.push_back(std::move(e));
+}
+
+const CorpusEntry& Corpus::select(util::Rng& rng) {
+  double total = 0;
+  for (const auto& e : entries_) total += e.energy;
+  double pick = rng.uniform01() * total;
+  for (auto& e : entries_) {
+    pick -= e.energy;
+    if (pick <= 0) {
+      ++e.hits;
+      e.energy *= 0.97;  // decay: favour fresher entries over time
+      return e;
+    }
+  }
+  auto& last = entries_.back();
+  ++last.hits;
+  return last;
+}
+
+Fuzzer::Fuzzer(const FuzzerOptions& options, std::uint64_t rng_seed)
+    : options_(options), rng_(rng_seed), corpus_(options.corpus_max) {
+  util::Rng seed_rng = rng_.fork();
+  if (options_.use_special_seeds) {
+    for (auto& s : special_seeds(seed_rng)) {
+      pending_seeds_.push_back(std::move(s));
+    }
+  }
+  for (auto& s : random_seeds(seed_rng, options_.random_seed_count,
+                              options_.random_seed_len)) {
+    pending_seeds_.push_back(std::move(s));
+  }
+}
+
+riscv::Program Fuzzer::next() {
+  ++iteration_;
+  if (!pending_seeds_.empty()) {
+    Seed s = std::move(pending_seeds_.back());
+    pending_seeds_.pop_back();
+    corpus_.add(s.program, s.name, iteration_);
+    last_ = s.program;
+    return s.program;
+  }
+  if (corpus_.empty()) {
+    last_ = riscv::random_program(rng_, options_.random_seed_len);
+    return last_;
+  }
+  if (corpus_.size() >= 2 && rng_.chance(options_.splice_percent, 100)) {
+    const auto& a = corpus_.select(rng_);
+    const auto& b = corpus_.select(rng_);
+    last_ = mutate(splice(a.program, b.program, rng_), rng_,
+                   options_.mutator);
+    return last_;
+  }
+  const auto& base = corpus_.select(rng_);
+  last_ = mutate(base.program, rng_, options_.mutator);
+  return last_;
+}
+
+void Fuzzer::report_interesting(const riscv::Program& program) {
+  corpus_.add(program, "mutation", iteration_);
+}
+
+}  // namespace specure::fuzz

@@ -1,0 +1,81 @@
+// Feedback-driven corpus with an AFL-style power schedule: inputs that
+// produced new coverage are kept and preferentially selected/mutated;
+// energy decays as an entry is reused so the fuzzer keeps exploring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutator.hpp"
+#include "fuzz/seeds.hpp"
+#include "riscv/program.hpp"
+#include "util/rng.hpp"
+
+namespace specure::fuzz {
+
+struct CorpusEntry {
+  riscv::Program program;
+  std::string origin;      ///< seed name or "mutation"
+  double energy = 1.0;
+  std::uint64_t hits = 0;  ///< times selected
+  std::uint64_t added_iteration = 0;
+};
+
+class Corpus {
+ public:
+  explicit Corpus(std::size_t max_entries = 256) : max_entries_(max_entries) {}
+
+  void add(riscv::Program program, std::string origin,
+           std::uint64_t iteration);
+
+  /// Weighted random selection by energy. Corpus must be non-empty.
+  const CorpusEntry& select(util::Rng& rng);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  std::size_t max_entries_;
+};
+
+struct FuzzerOptions {
+  bool use_special_seeds = true;   ///< §3.2 transient-window seeds
+  std::size_t random_seed_count = 4;
+  std::size_t random_seed_len = 96;
+  MutatorOptions mutator;
+  std::size_t corpus_max = 256;
+  /// Probability (percent) of splicing two corpus entries instead of
+  /// mutating one.
+  unsigned splice_percent = 15;
+};
+
+/// The Hardware Fuzzer component (§3.2): owns the corpus, generates the
+/// next test input, and accepts interestingness feedback from the
+/// coverage/vulnerability components.
+class Fuzzer {
+ public:
+  Fuzzer(const FuzzerOptions& options, std::uint64_t rng_seed);
+
+  /// Produce the next test input (seed replay first, then mutations).
+  riscv::Program next();
+
+  /// Feedback: the input was interesting (new coverage / vulnerability) —
+  /// keep it in the corpus.
+  void report_interesting(const riscv::Program& program);
+
+  std::uint64_t iteration() const { return iteration_; }
+  const Corpus& corpus() const { return corpus_; }
+
+ private:
+  FuzzerOptions options_;
+  util::Rng rng_;
+  Corpus corpus_;
+  std::vector<Seed> pending_seeds_;
+  std::uint64_t iteration_ = 0;
+  riscv::Program last_;
+};
+
+}  // namespace specure::fuzz

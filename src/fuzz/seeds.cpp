@@ -1,0 +1,136 @@
+#include "fuzz/seeds.hpp"
+
+namespace specure::fuzz {
+
+using riscv::Op;
+using riscv::ProgramBuilder;
+
+namespace {
+constexpr std::uint8_t A0 = 10, T0 = 5, T1 = 6, T2 = 7, T3 = 28, T4 = 29,
+                       T5 = 30, RA = 1, S0 = 8;
+
+/// Emit the Spectre-shaped dependent double load gadget:
+/// t3 = mem[a0 + x*8]; t5 = mem[a0 + 256 + (t3 & 63)*8].
+void emit_gadget(ProgramBuilder& b, std::uint8_t x_reg) {
+  b.slli(T3, x_reg, 3);
+  b.add(T3, T3, A0);
+  b.ld(T3, T3, 0);
+  b.raw(riscv::enc_i(Op::kAndi, T3, T3, 63));
+  b.slli(T3, T3, 3);
+  b.add(T4, T3, A0);
+  b.ld(T5, T4, 256);
+}
+}  // namespace
+
+Seed make_branch_mispredict_seed(util::Rng& rng) {
+  // Bounds check "if (x < 8) use arr[x]" executed with x = 0..4 (branch
+  // not taken, matching the predictor's reset state), then once with
+  // x = 200: the skip branch is taken but predicted not-taken, so the
+  // gadget runs transiently with the out-of-bounds index.
+  ProgramBuilder b;
+  b.li(A0, static_cast<std::int64_t>(riscv::kDataBase));
+  b.li(T2, 8);  // bound
+  for (int i = 0; i < 5; ++i) {
+    const std::string skip = "skip" + std::to_string(i);
+    b.li(T1, i);
+    b.branch(Op::kBge, T1, T2, skip);  // in bounds: not taken
+    emit_gadget(b, T1);
+    b.label(skip);
+  }
+  b.li(T1, 200);                       // out of bounds
+  b.branch(Op::kBge, T1, T2, "done");  // taken, predicted not-taken
+  emit_gadget(b, T1);                  // transient out-of-bounds gadget
+  b.label("done");
+  b.ecall();
+  Seed s;
+  s.name = "branch_mispredict";
+  s.program = b.build();
+  s.program.data.resize(2048);
+  for (auto& byte : s.program.data) {
+    byte = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return s;
+}
+
+Seed make_bti_seed(util::Rng& rng) {
+  // Branch-target injection: an indirect jump at a fixed PC first trains
+  // the BTB towards victim_a, then jumps to victim_b; the BTB predicts
+  // victim_a, transiently executing its gadget.
+  ProgramBuilder b;
+  b.li(A0, static_cast<std::int64_t>(riscv::kDataBase));
+  b.li(S0, 0);              // pass counter
+  b.la(T0, "victim_a");
+  b.label("dispatch");
+  b.jalr(T2, T0, 0);        // the polymorphic indirect jump
+  b.label("back");
+  b.addi(S0, S0, 1);
+  b.la(T0, "victim_b");     // retarget for the second pass
+  b.li(T1, 2);
+  b.branch(Op::kBlt, S0, T1, "dispatch");
+  b.ecall();
+  b.label("victim_a");
+  emit_gadget(b, S0);       // transient on the second pass
+  b.jal(0, "back");
+  b.label("victim_b");
+  b.nop();
+  b.jal(0, "back");
+  Seed s;
+  s.name = "branch_target_injection";
+  s.program = b.build();
+  s.program.data.resize(1024);
+  for (auto& byte : s.program.data) {
+    byte = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return s;
+}
+
+Seed make_rsb_seed(util::Rng& rng) {
+  // Return-stack manipulation: the callee bumps RA before returning, so
+  // the RAS-predicted return point (holding a gadget) runs transiently.
+  ProgramBuilder b;
+  b.li(A0, static_cast<std::int64_t>(riscv::kDataBase));
+  b.li(S0, 9);
+  b.jal(RA, "func");
+  // RAS predicts a return to here: transient gadget.
+  emit_gadget(b, S0);
+  b.nop();
+  b.nop();
+  b.label("landing");
+  b.ecall();
+  b.label("func");
+  // Redirect the return address past the gadget to the landing pad, then
+  // return: the RAS still predicts the original call site.
+  b.la(T1, "landing");
+  b.addi(RA, T1, 0);
+  b.jalr(0, RA, 0);  // ret — RAS-predicted, actually manipulated
+  Seed s;
+  s.name = "rsb_manipulation";
+  s.program = b.build();
+  s.program.data.resize(1024);
+  for (auto& byte : s.program.data) {
+    byte = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return s;
+}
+
+std::vector<Seed> special_seeds(util::Rng& rng) {
+  std::vector<Seed> out;
+  out.push_back(make_branch_mispredict_seed(rng));
+  out.push_back(make_bti_seed(rng));
+  out.push_back(make_rsb_seed(rng));
+  return out;
+}
+
+std::vector<Seed> random_seeds(util::Rng& rng, std::size_t count,
+                               std::size_t program_len) {
+  std::vector<Seed> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    Seed s;
+    s.name = "random" + std::to_string(i);
+    s.program = riscv::random_program(rng, program_len);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace specure::fuzz

@@ -1,0 +1,41 @@
+// Special input seeds (§3.2): programs with transient-execution windows
+// covering branch misprediction, branch-target injection, and
+// return-stack-buffer manipulation. These are the generic "window opener"
+// seeds the paper adds to the initial corpus; they deliberately do NOT arm
+// any of the emulated vulnerabilities — the fuzzer has to discover the CSR
+// interactions by mutation, exactly as in the paper's campaigns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "riscv/program.hpp"
+#include "util/rng.hpp"
+
+namespace specure::fuzz {
+
+struct Seed {
+  std::string name;
+  riscv::Program program;
+};
+
+/// Branch-misprediction seed: trains a bounds-check branch taken, then
+/// violates it; the wrong path performs a dependent double load (the
+/// Spectre v1 gadget shape).
+Seed make_branch_mispredict_seed(util::Rng& rng);
+
+/// Branch-target-injection seed: an indirect jump whose BTB entry was
+/// trained to a different target (Spectre v2 shape).
+Seed make_bti_seed(util::Rng& rng);
+
+/// Return-stack seed: call/return mismatch so the RAS mispredicts.
+Seed make_rsb_seed(util::Rng& rng);
+
+/// All special seeds.
+std::vector<Seed> special_seeds(util::Rng& rng);
+
+/// Random seeds: plain random programs.
+std::vector<Seed> random_seeds(util::Rng& rng, std::size_t count,
+                               std::size_t program_len = 96);
+
+}  // namespace specure::fuzz

@@ -1,0 +1,82 @@
+#include "ift/arch_regs.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "riscv/isa.hpp"
+
+namespace specure::ift {
+
+namespace {
+
+/// Last hierarchy component of a signal name. Both '.' (RTL hierarchy)
+/// and '$' (flattened-netlist convention) act as separators.
+std::string_view last_component(std::string_view name) {
+  const auto pos = name.find_last_of(".$");
+  return pos == std::string_view::npos ? name : name.substr(pos + 1);
+}
+
+/// Strip a trailing "_<digits>" bank index ("x_5", "gpr_17").
+std::string_view strip_bank_index(std::string_view name) {
+  auto pos = name.size();
+  while (pos > 0 && std::isdigit(static_cast<unsigned char>(name[pos - 1]))) {
+    --pos;
+  }
+  if (pos > 0 && pos < name.size() && name[pos - 1] == '_') {
+    return name.substr(0, pos - 1);
+  }
+  return name;
+}
+
+}  // namespace
+
+ArchRegDb ArchRegDb::riscv() {
+  ArchRegDb db;
+  // Unprivileged spec: integer register file x0-x31.
+  for (int i = 0; i < 32; ++i) {
+    db.add({"x" + std::to_string(i), "unprivileged-v20191213", false});
+  }
+  // Unprivileged spec: FP register file f0-f31.
+  for (int i = 0; i < 32; ++i) {
+    db.add({"f" + std::to_string(i), "unprivileged-v20191213", false});
+  }
+  // The program counter is programmer-visible.
+  db.add({"pc", "unprivileged-v20191213", false});
+  // Privileged spec: every CSR MiniBOOM implements (by its CSR name). The
+  // four Specure emulation CSRs are architecturally visible by construction.
+  for (std::uint16_t addr : riscv::csr::kImplemented) {
+    db.add({std::string(riscv::csr::name(addr)), "privileged-v20211203",
+            false});
+  }
+  // Memory-mapped machine-level registers (CLINT layout).
+  db.add({"mtime", "privileged-v20211203", true});
+  db.add({"mtimecmp", "privileged-v20211203", true});
+  db.add({"msip", "privileged-v20211203", true});
+  return db;
+}
+
+void ArchRegDb::add(ArchRegEntry entry) { entries_.push_back(std::move(entry)); }
+
+bool ArchRegDb::is_architectural(std::string_view signal_name) const {
+  const std::string_view leaf = last_component(signal_name);
+  const std::string_view base = strip_bank_index(leaf);
+  for (const auto& e : entries_) {
+    if (leaf == e.name || base == e.name) return true;
+  }
+  return false;
+}
+
+std::size_t ArchRegDb::label(Ifg& ifg) const {
+  std::size_t labeled = 0;
+  for (NodeId i = 0; i < ifg.node_count(); ++i) {
+    if (ifg.node(i).role == Role::kArchitectural) continue;
+    if (is_architectural(ifg.node(i).name)) {
+      ifg.set_role(i, Role::kArchitectural);
+      ++labeled;
+    }
+  }
+  return labeled;
+}
+
+}  // namespace specure::ift

@@ -1,0 +1,58 @@
+// Architectural-register database (§3.1 Step 2 of the paper).
+//
+// The paper extracts programmer-accessible state from the RISC-V privileged
+// and unprivileged ISA specifications and uses it to label the IFG's
+// architectural sinks. We encode the same information directly: integer
+// registers x0-x31 (and ABI aliases), floating-point registers f0-f31, the
+// program counter, every implemented CSR (including the paper's four
+// emulation CSRs) and memory-mapped I/O registers.
+//
+// Signals are matched by hierarchical-name suffix: "core.arch_rf.x17"
+// matches the "x17" entry; "core.csr.mwait_timer" matches "mwait_timer".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ift/ifg.hpp"
+
+namespace specure::ift {
+
+/// One programmer-visible register as documented in the ISA spec.
+struct ArchRegEntry {
+  std::string name;       ///< spec name ("x17", "mstatus", "pc", ...)
+  std::string source;     ///< which spec volume documents it
+  bool memory_mapped = false;
+};
+
+class ArchRegDb {
+ public:
+  /// Database preloaded with the RISC-V unprivileged + privileged state
+  /// (plus Specure's emulation CSRs, which are architecturally visible by
+  /// construction).
+  static ArchRegDb riscv();
+
+  /// An empty database (for custom PUTs).
+  ArchRegDb() = default;
+
+  /// Register an extra architectural name (e.g. an MMIO register).
+  void add(ArchRegEntry entry);
+
+  /// True if the hierarchical signal name denotes architectural state.
+  /// Matching is by dot-separated last component, with an optional
+  /// "<name>_<digits>" suffix for synthesized register banks.
+  bool is_architectural(std::string_view signal_name) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<ArchRegEntry>& entries() const { return entries_; }
+
+  /// Walk the IFG and set Role::kArchitectural on every matching node.
+  /// Returns the number of nodes labeled.
+  std::size_t label(Ifg& ifg) const;
+
+ private:
+  std::vector<ArchRegEntry> entries_;
+};
+
+}  // namespace specure::ift

@@ -1,0 +1,97 @@
+#include "ift/ifg.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace specure::ift {
+
+NodeId Ifg::add_node(std::string name, unsigned width, bool is_register,
+                     Role role) {
+  auto [it, inserted] =
+      index_.emplace(name, static_cast<NodeId>(nodes_.size()));
+  if (!inserted) throw std::runtime_error("IFG: duplicate node " + name);
+  Node n;
+  n.name = std::move(name);
+  n.width = width;
+  n.is_register = is_register;
+  n.role = role;
+  nodes_.push_back(std::move(n));
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return it->second;
+}
+
+void Ifg::add_edge(NodeId src, NodeId dst) {
+  if (src == dst) return;
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    throw std::runtime_error("IFG: edge references unknown node");
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  if (!edge_seen_.emplace(key, true).second) return;
+  succ_[src].push_back(dst);
+  pred_[dst].push_back(src);
+  ++edge_count_;
+}
+
+void Ifg::add_edge(const std::string& src, const std::string& dst) {
+  add_edge(id_of(src), id_of(dst));
+}
+
+NodeId Ifg::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidNode : it->second;
+}
+
+NodeId Ifg::id_of(const std::string& name) const {
+  const NodeId id = find(name);
+  if (id == kInvalidNode) throw std::runtime_error("IFG: unknown node " + name);
+  return id;
+}
+
+std::vector<NodeId> Ifg::nodes_with_role(Role role) const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> Ifg::register_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_register) out.push_back(i);
+  }
+  return out;
+}
+
+void Ifg::write_dot(std::ostream& os) const {
+  os << "digraph ifg {\n  rankdir=LR;\n";
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    os << "  n" << i << " [label=\"" << n.name << "\"";
+    if (n.role == Role::kArchitectural) {
+      os << ", shape=doublecircle, color=blue";
+    } else if (n.is_register) {
+      os << ", shape=box";
+    }
+    os << "];\n";
+  }
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    for (NodeId j : succ_[i]) os << "  n" << i << " -> n" << j << ";\n";
+  }
+  os << "}\n";
+}
+
+Ifg Ifg::from_elaborated(const rtl::ElaboratedDesign& design) {
+  Ifg g;
+  for (const auto& sig : design.signals()) {
+    g.add_node(sig.name, sig.width, sig.is_register,
+               sig.is_register ? Role::kMicroarchitectural : Role::kWire);
+  }
+  for (const auto& [src, dst] : design.flows()) {
+    g.add_edge(src, dst);
+  }
+  return g;
+}
+
+}  // namespace specure::ift

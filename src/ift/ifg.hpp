@@ -1,0 +1,83 @@
+// Information Flow Graph (IFG), the paper's §3.1 Step 1 artifact:
+//   IFG = (R, F), R = all signals in the PUT, F = directed flow edges.
+//
+// An Ifg can be built from an elaborated RTL design (rtl::elaborate) or
+// programmatically (the MiniBOOM simulator registers its structure
+// directly). Nodes carry the register/architectural classification used by
+// PDLC extraction (§3.1 Step 2).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/elaborate.hpp"
+
+namespace specure::ift {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~0u;
+
+/// Classification of a signal for leakage analysis.
+enum class Role : std::uint8_t {
+  kWire,              ///< combinational / non-state signal
+  kMicroarchitectural,///< state invisible to the programmer
+  kArchitectural,     ///< programmer-visible state (ISA registers, CSRs, ...)
+};
+
+struct Node {
+  std::string name;
+  unsigned width = 1;
+  bool is_register = false;
+  Role role = Role::kWire;
+};
+
+class Ifg {
+ public:
+  /// Add a node; name must be unique. Returns the node id.
+  NodeId add_node(std::string name, unsigned width = 1,
+                  bool is_register = false, Role role = Role::kWire);
+
+  /// Add a directed flow edge (deduplicated; self-loops dropped).
+  void add_edge(NodeId src, NodeId dst);
+  void add_edge(const std::string& src, const std::string& dst);
+
+  NodeId find(const std::string& name) const;  ///< kInvalidNode if absent
+  NodeId id_of(const std::string& name) const; ///< throws if absent
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& node(NodeId id) { return nodes_[id]; }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  const std::vector<NodeId>& successors(NodeId id) const { return succ_[id]; }
+  const std::vector<NodeId>& predecessors(NodeId id) const { return pred_[id]; }
+
+  /// All node ids with a given role / register flag.
+  std::vector<NodeId> nodes_with_role(Role role) const;
+  std::vector<NodeId> register_nodes() const;
+
+  /// Set the role of a node by id or name.
+  void set_role(NodeId id, Role role) { nodes_[id].role = role; }
+
+  /// Graphviz DOT rendering (architectural nodes double-circled,
+  /// registers boxed).
+  void write_dot(std::ostream& os) const;
+
+  /// Build from an elaborated RTL design: one node per signal, one edge per
+  /// flow. Roles start as kWire/kMicroarchitectural (for registers) and are
+  /// refined by the architectural-register database (arch_regs.hpp).
+  static Ifg from_elaborated(const rtl::ElaboratedDesign& design);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::unordered_map<std::string, NodeId> index_;
+  std::unordered_map<std::uint64_t, bool> edge_seen_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace specure::ift

@@ -1,0 +1,131 @@
+#include "ift/pdlc.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace specure::ift {
+
+const std::vector<std::size_t>& PdlcList::by_sink(NodeId sink) const {
+  auto it = by_sink_.find(sink);
+  return it == by_sink_.end() ? empty_ : it->second;
+}
+
+const std::vector<std::size_t>& PdlcList::by_source(NodeId source) const {
+  auto it = by_source_.find(source);
+  return it == by_source_.end() ? empty_ : it->second;
+}
+
+void PdlcList::add(Pdlc channel) {
+  const std::size_t idx = channels_.size();
+  by_sink_[channel.sink].push_back(idx);
+  by_source_[channel.source].push_back(idx);
+  channels_.push_back(std::move(channel));
+}
+
+namespace {
+
+bool is_source_candidate(const Node& n, const PdlcOptions& options) {
+  if (n.role != Role::kMicroarchitectural) return false;
+  return !options.register_sources_only || n.is_register;
+}
+
+/// Reverse search: one BFS per architectural sink over predecessor edges.
+/// Every microarchitectural register reached yields one channel whose
+/// witness path is reconstructed from BFS parents. Linear per sink.
+void extract_reverse(const Ifg& ifg, const PdlcOptions& options,
+                     PdlcList& out) {
+  const std::size_t n = ifg.node_count();
+  std::vector<NodeId> parent(n);
+  std::vector<char> visited(n);
+
+  for (NodeId sink = 0; sink < n; ++sink) {
+    if (ifg.node(sink).role != Role::kArchitectural) continue;
+    std::fill(visited.begin(), visited.end(), 0);
+    std::deque<NodeId> queue;
+    queue.push_back(sink);
+    visited[sink] = 1;
+    parent[sink] = kInvalidNode;
+
+    while (!queue.empty()) {
+      const NodeId cur = queue.front();
+      queue.pop_front();
+      if (cur != sink && is_source_candidate(ifg.node(cur), options)) {
+        // Reconstruct source -> sink witness path via parents.
+        Pdlc ch;
+        ch.source = cur;
+        ch.sink = sink;
+        for (NodeId p = cur; p != kInvalidNode; p = parent[p]) {
+          ch.path.push_back(p);
+        }
+        out.add(std::move(ch));
+        // A register is opaque state: flows upstream of it form *other*
+        // channels ending at this register, not longer paths through it.
+        continue;
+      }
+      // Do not traverse beyond other architectural sinks either.
+      if (cur != sink && ifg.node(cur).role == Role::kArchitectural) continue;
+      for (NodeId pred : ifg.predecessors(cur)) {
+        if (visited[pred]) continue;
+        visited[pred] = 1;
+        parent[pred] = cur;
+        queue.push_back(pred);
+      }
+    }
+  }
+}
+
+/// Forward enumeration (ablation baseline, D2): DFS from every candidate
+/// source until an architectural node is reached. Worst-case quadratic in
+/// V; kept only for the bench comparison.
+void extract_forward(const Ifg& ifg, const PdlcOptions& options,
+                     PdlcList& out) {
+  const std::size_t n = ifg.node_count();
+  std::vector<char> visited(n);
+  std::vector<NodeId> parent(n);
+
+  for (NodeId src = 0; src < n; ++src) {
+    if (!is_source_candidate(ifg.node(src), options)) continue;
+    std::fill(visited.begin(), visited.end(), 0);
+    std::vector<NodeId> stack{src};
+    visited[src] = 1;
+    parent[src] = kInvalidNode;
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      if (cur != src && ifg.node(cur).role == Role::kArchitectural) {
+        Pdlc ch;
+        ch.source = src;
+        ch.sink = cur;
+        for (NodeId p = cur; p != kInvalidNode; p = parent[p]) {
+          ch.path.push_back(p);
+        }
+        std::reverse(ch.path.begin(), ch.path.end());
+        out.add(std::move(ch));
+        if (out.size() >= options.max_channels) return;
+        continue;
+      }
+      // Stop at intermediate registers: they are distinct channel sources.
+      if (cur != src && ifg.node(cur).is_register) continue;
+      for (NodeId succ : ifg.successors(cur)) {
+        if (visited[succ]) continue;
+        visited[succ] = 1;
+        parent[succ] = cur;
+        stack.push_back(succ);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PdlcList extract_pdlc(const Ifg& ifg, const PdlcOptions& options) {
+  PdlcList out;
+  if (options.reverse) {
+    extract_reverse(ifg, options, out);
+  } else {
+    extract_forward(ifg, options, out);
+  }
+  return out;
+}
+
+}  // namespace specure::ift

@@ -1,0 +1,62 @@
+// Potential Direct Leakage Channel (PDLC) extraction — §3.1 Step 2.
+//
+// A PDLC is a chain of IFG edges from a microarchitectural register to an
+// architectural register. The paper extracts all such channels with a
+// reverse ("skewed-aware join") search: paths are searched backwards from
+// the architectural sinks, which reduces the complexity from O(V^2) to
+// O(V) per sink class. We implement both directions — the reverse search
+// is the production path; the forward enumeration is kept as the ablation
+// baseline for DESIGN.md D2 and bench_offline_phase.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "ift/ifg.hpp"
+
+namespace specure::ift {
+
+struct Pdlc {
+  NodeId source = kInvalidNode;  ///< microarchitectural register
+  NodeId sink = kInvalidNode;    ///< architectural register
+  std::vector<NodeId> path;      ///< witness path, source..sink inclusive
+};
+
+struct PdlcOptions {
+  /// Use the reverse search (paper's approach). Forward enumeration is the
+  /// D2 ablation baseline.
+  bool reverse = true;
+  /// Sources must be registers (state elements); if false any
+  /// microarchitectural signal may start a channel.
+  bool register_sources_only = true;
+  /// Safety valve for the forward enumeration (it can blow up on dense
+  /// graphs). The reverse search never hits this.
+  std::size_t max_channels = 1'000'000;
+};
+
+class PdlcList {
+ public:
+  const std::vector<Pdlc>& channels() const { return channels_; }
+  std::size_t size() const { return channels_.size(); }
+  bool empty() const { return channels_.empty(); }
+  const Pdlc& operator[](std::size_t i) const { return channels_[i]; }
+
+  /// Channels ending at a given architectural sink.
+  const std::vector<std::size_t>& by_sink(NodeId sink) const;
+  /// Channels starting at a given microarchitectural source.
+  const std::vector<std::size_t>& by_source(NodeId source) const;
+
+  void add(Pdlc channel);
+
+ private:
+  std::vector<Pdlc> channels_;
+  std::unordered_map<NodeId, std::vector<std::size_t>> by_sink_;
+  std::unordered_map<NodeId, std::vector<std::size_t>> by_source_;
+  std::vector<std::size_t> empty_;
+};
+
+/// Extract the PDLC list from a role-labeled IFG.
+PdlcList extract_pdlc(const Ifg& ifg, const PdlcOptions& options = {});
+
+}  // namespace specure::ift

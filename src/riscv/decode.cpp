@@ -1,0 +1,248 @@
+#include "riscv/decode.hpp"
+
+#include "util/bits.hpp"
+
+namespace specure::riscv {
+
+using util::bits;
+using util::sext;
+
+namespace {
+
+std::int64_t imm_i(std::uint32_t w) { return sext(bits(w, 20, 12), 12); }
+
+std::int64_t imm_s(std::uint32_t w) {
+  return sext(bits(w, 25, 7) << 5 | bits(w, 7, 5), 12);
+}
+
+std::int64_t imm_b(std::uint32_t w) {
+  const std::uint64_t v = (bits(w, 31, 1) << 12) | (bits(w, 7, 1) << 11) |
+                          (bits(w, 25, 6) << 5) | (bits(w, 8, 4) << 1);
+  return sext(v, 13);
+}
+
+std::int64_t imm_u(std::uint32_t w) {
+  return sext(bits(w, 12, 20) << 12, 32);
+}
+
+std::int64_t imm_j(std::uint32_t w) {
+  const std::uint64_t v = (bits(w, 31, 1) << 20) | (bits(w, 12, 8) << 12) |
+                          (bits(w, 20, 1) << 11) | (bits(w, 21, 10) << 1);
+  return sext(v, 21);
+}
+
+Op decode_op_imm(std::uint32_t f3, std::uint32_t f7_shift) {
+  switch (f3) {
+    case 0: return Op::kAddi;
+    case 1: return f7_shift == 0 ? Op::kSlli : Op::kIllegal;
+    case 2: return Op::kSlti;
+    case 3: return Op::kSltiu;
+    case 4: return Op::kXori;
+    case 5:
+      if (f7_shift == 0x00) return Op::kSrli;
+      if (f7_shift == 0x10) return Op::kSrai;
+      return Op::kIllegal;
+    case 6: return Op::kOri;
+    case 7: return Op::kAndi;
+  }
+  return Op::kIllegal;
+}
+
+Op decode_op_imm32(std::uint32_t f3, std::uint32_t f7) {
+  switch (f3) {
+    case 0: return Op::kAddiw;
+    case 1: return f7 == 0 ? Op::kSlliw : Op::kIllegal;
+    case 5:
+      if (f7 == 0x00) return Op::kSrliw;
+      if (f7 == 0x20) return Op::kSraiw;
+      return Op::kIllegal;
+  }
+  return Op::kIllegal;
+}
+
+Op decode_op_reg(std::uint32_t f3, std::uint32_t f7) {
+  if (f7 == 0x01) {  // M extension subset.
+    switch (f3) {
+      case 0: return Op::kMul;
+      case 1: return Op::kMulh;
+      case 4: return Op::kDiv;
+      case 5: return Op::kDivu;
+      case 6: return Op::kRem;
+      case 7: return Op::kRemu;
+    }
+    return Op::kIllegal;
+  }
+  switch (f3) {
+    case 0:
+      if (f7 == 0x00) return Op::kAdd;
+      if (f7 == 0x20) return Op::kSub;
+      return Op::kIllegal;
+    case 1: return f7 == 0 ? Op::kSll : Op::kIllegal;
+    case 2: return f7 == 0 ? Op::kSlt : Op::kIllegal;
+    case 3: return f7 == 0 ? Op::kSltu : Op::kIllegal;
+    case 4: return f7 == 0 ? Op::kXor : Op::kIllegal;
+    case 5:
+      if (f7 == 0x00) return Op::kSrl;
+      if (f7 == 0x20) return Op::kSra;
+      return Op::kIllegal;
+    case 6: return f7 == 0 ? Op::kOr : Op::kIllegal;
+    case 7: return f7 == 0 ? Op::kAnd : Op::kIllegal;
+  }
+  return Op::kIllegal;
+}
+
+Op decode_op_reg32(std::uint32_t f3, std::uint32_t f7) {
+  switch (f3) {
+    case 0:
+      if (f7 == 0x00) return Op::kAddw;
+      if (f7 == 0x20) return Op::kSubw;
+      return Op::kIllegal;
+    case 1: return f7 == 0 ? Op::kSllw : Op::kIllegal;
+    case 5:
+      if (f7 == 0x00) return Op::kSrlw;
+      if (f7 == 0x20) return Op::kSraw;
+      return Op::kIllegal;
+  }
+  return Op::kIllegal;
+}
+
+Op decode_branch(std::uint32_t f3) {
+  switch (f3) {
+    case 0: return Op::kBeq;
+    case 1: return Op::kBne;
+    case 4: return Op::kBlt;
+    case 5: return Op::kBge;
+    case 6: return Op::kBltu;
+    case 7: return Op::kBgeu;
+  }
+  return Op::kIllegal;
+}
+
+Op decode_load(std::uint32_t f3) {
+  switch (f3) {
+    case 0: return Op::kLb;
+    case 1: return Op::kLh;
+    case 2: return Op::kLw;
+    case 3: return Op::kLd;
+    case 4: return Op::kLbu;
+    case 5: return Op::kLhu;
+    case 6: return Op::kLwu;
+  }
+  return Op::kIllegal;
+}
+
+Op decode_store(std::uint32_t f3) {
+  switch (f3) {
+    case 0: return Op::kSb;
+    case 1: return Op::kSh;
+    case 2: return Op::kSw;
+    case 3: return Op::kSd;
+  }
+  return Op::kIllegal;
+}
+
+Op decode_system(std::uint32_t f3, std::uint32_t imm12) {
+  switch (f3) {
+    case 0:
+      if (imm12 == 0) return Op::kEcall;
+      if (imm12 == 1) return Op::kEbreak;
+      return Op::kIllegal;
+    case 1: return Op::kCsrrw;
+    case 2: return Op::kCsrrs;
+    case 3: return Op::kCsrrc;
+    case 5: return Op::kCsrrwi;
+    case 6: return Op::kCsrrsi;
+    case 7: return Op::kCsrrci;
+  }
+  return Op::kIllegal;
+}
+
+}  // namespace
+
+DecodedInst decode(std::uint32_t word) {
+  DecodedInst d;
+  d.raw = word;
+  const std::uint32_t opcode = static_cast<std::uint32_t>(bits(word, 0, 7));
+  const std::uint32_t f3 = static_cast<std::uint32_t>(bits(word, 12, 3));
+  const std::uint32_t f7 = static_cast<std::uint32_t>(bits(word, 25, 7));
+  d.rd = static_cast<std::uint8_t>(bits(word, 7, 5));
+  d.rs1 = static_cast<std::uint8_t>(bits(word, 15, 5));
+  d.rs2 = static_cast<std::uint8_t>(bits(word, 20, 5));
+
+  switch (opcode) {
+    case 0x13:  // OP-IMM
+      // RV64 shifts use a 6-bit shamt; the distinguishing funct field is
+      // bits [31:26].
+      d.op = decode_op_imm(f3, static_cast<std::uint32_t>(bits(word, 26, 6)));
+      if (d.op == Op::kSlli || d.op == Op::kSrli || d.op == Op::kSrai) {
+        d.imm = static_cast<std::int64_t>(bits(word, 20, 6));
+      } else {
+        d.imm = imm_i(word);
+      }
+      break;
+    case 0x1b:  // OP-IMM-32
+      d.op = decode_op_imm32(f3, f7);
+      if (d.op == Op::kSlliw || d.op == Op::kSrliw || d.op == Op::kSraiw) {
+        d.imm = static_cast<std::int64_t>(bits(word, 20, 5));
+      } else {
+        d.imm = imm_i(word);
+      }
+      break;
+    case 0x33:  // OP
+      d.op = decode_op_reg(f3, f7);
+      break;
+    case 0x3b:  // OP-32
+      d.op = decode_op_reg32(f3, f7);
+      break;
+    case 0x37:  // LUI
+      d.op = Op::kLui;
+      d.imm = imm_u(word);
+      break;
+    case 0x17:  // AUIPC
+      d.op = Op::kAuipc;
+      d.imm = imm_u(word);
+      break;
+    case 0x6f:  // JAL
+      d.op = Op::kJal;
+      d.imm = imm_j(word);
+      break;
+    case 0x67:  // JALR
+      d.op = f3 == 0 ? Op::kJalr : Op::kIllegal;
+      d.imm = imm_i(word);
+      break;
+    case 0x63:  // BRANCH
+      d.op = decode_branch(f3);
+      d.imm = imm_b(word);
+      break;
+    case 0x03:  // LOAD
+      d.op = decode_load(f3);
+      d.imm = imm_i(word);
+      break;
+    case 0x23:  // STORE
+      d.op = decode_store(f3);
+      d.imm = imm_s(word);
+      break;
+    case 0x0f:  // FENCE
+      d.op = Op::kFence;
+      break;
+    case 0x73:  // SYSTEM
+      d.op = decode_system(f3, static_cast<std::uint32_t>(bits(word, 20, 12)));
+      if (is_csr(d.op)) {
+        d.csr = static_cast<std::uint16_t>(bits(word, 20, 12));
+        d.zimm = d.rs1;  // CSRR*I reuse the rs1 field as a 5-bit immediate.
+      }
+      break;
+    default:
+      d.op = Op::kIllegal;
+      break;
+  }
+  if (d.op == Op::kIllegal) {
+    d.rd = d.rs1 = d.rs2 = 0;
+    d.imm = 0;
+    d.csr = 0;
+    d.zimm = 0;
+  }
+  return d;
+}
+
+}  // namespace specure::riscv

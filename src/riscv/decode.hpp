@@ -1,0 +1,28 @@
+// 32-bit RISC-V instruction word -> DecodedInst. The decoder accepts the
+// RV64I + Zicsr + MUL/DIV subset from isa.hpp; anything else decodes to
+// Op::kIllegal (with fields zeroed) so the fuzzer can feed arbitrary bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "riscv/isa.hpp"
+
+namespace specure::riscv {
+
+struct DecodedInst {
+  Op op = Op::kIllegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int64_t imm = 0;       ///< Sign-extended immediate (format-dependent).
+  std::uint16_t csr = 0;      ///< CSR address for Zicsr ops.
+  std::uint8_t zimm = 0;      ///< 5-bit immediate for CSRR*I.
+  std::uint32_t raw = 0;      ///< Original instruction word.
+
+  bool valid() const { return op != Op::kIllegal; }
+};
+
+/// Decode one instruction word.
+DecodedInst decode(std::uint32_t word);
+
+}  // namespace specure::riscv

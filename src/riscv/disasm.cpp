@@ -1,0 +1,68 @@
+#include "riscv/disasm.hpp"
+
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace specure::riscv {
+
+namespace {
+
+std::string reg(std::uint8_t idx) {
+  return std::string(kAbiNames[idx & 0x1f]);
+}
+
+std::string target_hex(std::uint64_t pc, std::int64_t off) {
+  const std::uint64_t target = pc + static_cast<std::uint64_t>(off);
+  std::string s = util::hex(target);
+  // Upper-case hex to match the paper's rendering (0x800025B0).
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return "0x" + s;
+}
+
+}  // namespace
+
+std::string disassemble(const DecodedInst& d, std::uint64_t pc) {
+  const std::string m(mnemonic(d.op));
+  switch (format_of(d.op)) {
+    case Format::kR:
+      return m + " " + reg(d.rd) + ", " + reg(d.rs1) + ", " + reg(d.rs2);
+    case Format::kI:
+      if (is_load(d.op)) {
+        return m + " " + reg(d.rd) + ", " + std::to_string(d.imm) + "(" +
+               reg(d.rs1) + ")";
+      }
+      if (d.op == Op::kJalr) {
+        return m + " " + reg(d.rd) + ", " + std::to_string(d.imm) + "(" +
+               reg(d.rs1) + ")";
+      }
+      return m + " " + reg(d.rd) + ", " + reg(d.rs1) + ", " +
+             std::to_string(d.imm);
+    case Format::kS:
+      return m + " " + reg(d.rs2) + ", " + std::to_string(d.imm) + "(" +
+             reg(d.rs1) + ")";
+    case Format::kB:
+      return m + " " + reg(d.rs1) + ", " + reg(d.rs2) + ", " +
+             target_hex(pc, d.imm);
+    case Format::kU:
+      return m + " " + reg(d.rd) + ", " +
+             util::hex0x(static_cast<std::uint64_t>(d.imm) >> 12 & 0xfffff);
+    case Format::kJ:
+      return m + " " + reg(d.rd) + ", " + target_hex(pc, d.imm);
+    case Format::kCsr:
+      return m + " " + reg(d.rd) + ", " + std::string(csr::name(d.csr)) +
+             ", " + reg(d.rs1);
+    case Format::kCsrImm:
+      return m + " " + reg(d.rd) + ", " + std::string(csr::name(d.csr)) +
+             ", " + std::to_string(d.zimm);
+    case Format::kSys:
+      return m;
+  }
+  return m;
+}
+
+std::string disassemble(std::uint32_t word, std::uint64_t pc) {
+  return disassemble(decode(word), pc);
+}
+
+}  // namespace specure::riscv

@@ -1,0 +1,20 @@
+// Disassembler producing the readable rendering used in the paper's
+// Table 1, e.g. "BGE S8, T5, 0x800025B0" (ABI register names, branch and
+// jump targets resolved against the instruction's own PC).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "riscv/decode.hpp"
+
+namespace specure::riscv {
+
+/// Disassemble a decoded instruction. `pc` is used to render absolute
+/// branch/JAL/AUIPC targets as the paper does.
+std::string disassemble(const DecodedInst& inst, std::uint64_t pc);
+
+/// Convenience: decode + disassemble a raw word.
+std::string disassemble(std::uint32_t word, std::uint64_t pc);
+
+}  // namespace specure::riscv

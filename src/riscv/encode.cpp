@@ -1,0 +1,179 @@
+#include "riscv/encode.hpp"
+
+#include "util/bits.hpp"
+
+namespace specure::riscv {
+
+using util::bits;
+
+namespace {
+
+struct EncInfo {
+  std::uint32_t opcode;
+  std::uint32_t f3;
+  std::uint32_t f7;
+};
+
+// Table of (opcode, funct3, funct7) per Op; immediates are placed by format.
+EncInfo info_of(Op op) {
+  switch (op) {
+    case Op::kAddi: return {0x13, 0, 0};
+    case Op::kSlti: return {0x13, 2, 0};
+    case Op::kSltiu: return {0x13, 3, 0};
+    case Op::kXori: return {0x13, 4, 0};
+    case Op::kOri: return {0x13, 6, 0};
+    case Op::kAndi: return {0x13, 7, 0};
+    case Op::kSlli: return {0x13, 1, 0x00};
+    case Op::kSrli: return {0x13, 5, 0x00};
+    case Op::kSrai: return {0x13, 5, 0x20};
+    case Op::kAddiw: return {0x1b, 0, 0};
+    case Op::kSlliw: return {0x1b, 1, 0x00};
+    case Op::kSrliw: return {0x1b, 5, 0x00};
+    case Op::kSraiw: return {0x1b, 5, 0x20};
+    case Op::kAdd: return {0x33, 0, 0x00};
+    case Op::kSub: return {0x33, 0, 0x20};
+    case Op::kSll: return {0x33, 1, 0x00};
+    case Op::kSlt: return {0x33, 2, 0x00};
+    case Op::kSltu: return {0x33, 3, 0x00};
+    case Op::kXor: return {0x33, 4, 0x00};
+    case Op::kSrl: return {0x33, 5, 0x00};
+    case Op::kSra: return {0x33, 5, 0x20};
+    case Op::kOr: return {0x33, 6, 0x00};
+    case Op::kAnd: return {0x33, 7, 0x00};
+    case Op::kAddw: return {0x3b, 0, 0x00};
+    case Op::kSubw: return {0x3b, 0, 0x20};
+    case Op::kSllw: return {0x3b, 1, 0x00};
+    case Op::kSrlw: return {0x3b, 5, 0x00};
+    case Op::kSraw: return {0x3b, 5, 0x20};
+    case Op::kMul: return {0x33, 0, 0x01};
+    case Op::kMulh: return {0x33, 1, 0x01};
+    case Op::kDiv: return {0x33, 4, 0x01};
+    case Op::kDivu: return {0x33, 5, 0x01};
+    case Op::kRem: return {0x33, 6, 0x01};
+    case Op::kRemu: return {0x33, 7, 0x01};
+    case Op::kLui: return {0x37, 0, 0};
+    case Op::kAuipc: return {0x17, 0, 0};
+    case Op::kJal: return {0x6f, 0, 0};
+    case Op::kJalr: return {0x67, 0, 0};
+    case Op::kBeq: return {0x63, 0, 0};
+    case Op::kBne: return {0x63, 1, 0};
+    case Op::kBlt: return {0x63, 4, 0};
+    case Op::kBge: return {0x63, 5, 0};
+    case Op::kBltu: return {0x63, 6, 0};
+    case Op::kBgeu: return {0x63, 7, 0};
+    case Op::kLb: return {0x03, 0, 0};
+    case Op::kLh: return {0x03, 1, 0};
+    case Op::kLw: return {0x03, 2, 0};
+    case Op::kLd: return {0x03, 3, 0};
+    case Op::kLbu: return {0x03, 4, 0};
+    case Op::kLhu: return {0x03, 5, 0};
+    case Op::kLwu: return {0x03, 6, 0};
+    case Op::kSb: return {0x23, 0, 0};
+    case Op::kSh: return {0x23, 1, 0};
+    case Op::kSw: return {0x23, 2, 0};
+    case Op::kSd: return {0x23, 3, 0};
+    case Op::kCsrrw: return {0x73, 1, 0};
+    case Op::kCsrrs: return {0x73, 2, 0};
+    case Op::kCsrrc: return {0x73, 3, 0};
+    case Op::kCsrrwi: return {0x73, 5, 0};
+    case Op::kCsrrsi: return {0x73, 6, 0};
+    case Op::kCsrrci: return {0x73, 7, 0};
+    case Op::kFence: return {0x0f, 0, 0};
+    case Op::kEcall: return {0x73, 0, 0};
+    case Op::kEbreak: return {0x73, 0, 0};
+    default: return {0, 0, 0};
+  }
+}
+
+}  // namespace
+
+std::uint32_t encode(Op op, std::uint8_t rd, std::uint8_t rs1,
+                     std::uint8_t rs2, std::int64_t imm, std::uint16_t csr) {
+  const EncInfo e = info_of(op);
+  const std::uint64_t u = static_cast<std::uint64_t>(imm);
+  const std::uint32_t rdf = (rd & 0x1f) << 7;
+  const std::uint32_t rs1f = (rs1 & 0x1f) << 15;
+  const std::uint32_t rs2f = (rs2 & 0x1f) << 20;
+  const std::uint32_t f3f = e.f3 << 12;
+
+  switch (format_of(op)) {
+    case Format::kR:
+      return (e.f7 << 25) | rs2f | rs1f | f3f | rdf | e.opcode;
+    case Format::kI: {
+      if (op == Op::kSlli || op == Op::kSrli || op == Op::kSrai) {
+        const std::uint32_t shamt = static_cast<std::uint32_t>(u & 0x3f);
+        return ((e.f7 >> 1) << 26) | (shamt << 20) | rs1f | f3f | rdf | e.opcode;
+      }
+      if (op == Op::kSlliw || op == Op::kSrliw || op == Op::kSraiw) {
+        const std::uint32_t shamt = static_cast<std::uint32_t>(u & 0x1f);
+        return (e.f7 << 25) | (shamt << 20) | rs1f | f3f | rdf | e.opcode;
+      }
+      return (static_cast<std::uint32_t>(u & 0xfff) << 20) | rs1f | f3f | rdf |
+             e.opcode;
+    }
+    case Format::kS: {
+      const std::uint32_t lo = static_cast<std::uint32_t>(bits(u, 0, 5));
+      const std::uint32_t hi = static_cast<std::uint32_t>(bits(u, 5, 7));
+      return (hi << 25) | rs2f | rs1f | f3f | (lo << 7) | e.opcode;
+    }
+    case Format::kB: {
+      const std::uint32_t b12 = static_cast<std::uint32_t>(bits(u, 12, 1));
+      const std::uint32_t b11 = static_cast<std::uint32_t>(bits(u, 11, 1));
+      const std::uint32_t b10_5 = static_cast<std::uint32_t>(bits(u, 5, 6));
+      const std::uint32_t b4_1 = static_cast<std::uint32_t>(bits(u, 1, 4));
+      return (b12 << 31) | (b10_5 << 25) | rs2f | rs1f | f3f | (b4_1 << 8) |
+             (b11 << 7) | e.opcode;
+    }
+    case Format::kU:
+      return (static_cast<std::uint32_t>(bits(u, 12, 20)) << 12) | rdf |
+             e.opcode;
+    case Format::kJ: {
+      const std::uint32_t b20 = static_cast<std::uint32_t>(bits(u, 20, 1));
+      const std::uint32_t b10_1 = static_cast<std::uint32_t>(bits(u, 1, 10));
+      const std::uint32_t b11 = static_cast<std::uint32_t>(bits(u, 11, 1));
+      const std::uint32_t b19_12 = static_cast<std::uint32_t>(bits(u, 12, 8));
+      return (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | rdf |
+             e.opcode;
+    }
+    case Format::kCsr:
+    case Format::kCsrImm:
+      return (static_cast<std::uint32_t>(csr & 0xfff) << 20) | rs1f | f3f |
+             rdf | e.opcode;
+    case Format::kSys:
+      if (op == Op::kEbreak) return 0x00100073;
+      if (op == Op::kEcall) return 0x00000073;
+      return e.opcode;  // FENCE with all-zero fields.
+  }
+  return 0;
+}
+
+std::uint32_t enc_r(Op op, std::uint8_t rd, std::uint8_t rs1,
+                    std::uint8_t rs2) {
+  return encode(op, rd, rs1, rs2, 0);
+}
+std::uint32_t enc_i(Op op, std::uint8_t rd, std::uint8_t rs1,
+                    std::int64_t imm) {
+  return encode(op, rd, rs1, 0, imm);
+}
+std::uint32_t enc_s(Op op, std::uint8_t rs1, std::uint8_t rs2,
+                    std::int64_t imm) {
+  return encode(op, 0, rs1, rs2, imm);
+}
+std::uint32_t enc_b(Op op, std::uint8_t rs1, std::uint8_t rs2,
+                    std::int64_t off) {
+  return encode(op, 0, rs1, rs2, off);
+}
+std::uint32_t enc_u(Op op, std::uint8_t rd, std::int64_t imm) {
+  return encode(op, rd, 0, 0, imm);
+}
+std::uint32_t enc_j(std::uint8_t rd, std::int64_t off) {
+  return encode(Op::kJal, rd, 0, 0, off);
+}
+std::uint32_t enc_csr(Op op, std::uint8_t rd, std::uint8_t rs1_or_zimm,
+                      std::uint16_t csr) {
+  return encode(op, rd, rs1_or_zimm, 0, 0, csr);
+}
+std::uint32_t enc_nop() { return enc_i(Op::kAddi, 0, 0, 0); }
+std::uint32_t enc_ecall() { return 0x00000073; }
+
+}  // namespace specure::riscv

@@ -1,0 +1,164 @@
+#include "riscv/isa.hpp"
+
+namespace specure::riscv {
+
+Format format_of(Op op) {
+  switch (op) {
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt:
+    case Op::kSltu: case Op::kXor: case Op::kSrl: case Op::kSra:
+    case Op::kOr: case Op::kAnd: case Op::kAddw: case Op::kSubw:
+    case Op::kSllw: case Op::kSrlw: case Op::kSraw:
+    case Op::kMul: case Op::kMulh: case Op::kDiv: case Op::kDivu:
+    case Op::kRem: case Op::kRemu:
+      return Format::kR;
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai: case Op::kAddiw: case Op::kSlliw: case Op::kSrliw:
+    case Op::kSraiw: case Op::kJalr:
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu:
+      return Format::kI;
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd:
+      return Format::kS;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return Format::kB;
+    case Op::kLui: case Op::kAuipc:
+      return Format::kU;
+    case Op::kJal:
+      return Format::kJ;
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+      return Format::kCsr;
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      return Format::kCsrImm;
+    default:
+      return Format::kSys;
+  }
+}
+
+std::string_view mnemonic(Op op) {
+  switch (op) {
+    case Op::kIllegal: return "ILLEGAL";
+    case Op::kAddi: return "ADDI";
+    case Op::kSlti: return "SLTI";
+    case Op::kSltiu: return "SLTIU";
+    case Op::kXori: return "XORI";
+    case Op::kOri: return "ORI";
+    case Op::kAndi: return "ANDI";
+    case Op::kSlli: return "SLLI";
+    case Op::kSrli: return "SRLI";
+    case Op::kSrai: return "SRAI";
+    case Op::kAddiw: return "ADDIW";
+    case Op::kSlliw: return "SLLIW";
+    case Op::kSrliw: return "SRLIW";
+    case Op::kSraiw: return "SRAIW";
+    case Op::kAdd: return "ADD";
+    case Op::kSub: return "SUB";
+    case Op::kSll: return "SLL";
+    case Op::kSlt: return "SLT";
+    case Op::kSltu: return "SLTU";
+    case Op::kXor: return "XOR";
+    case Op::kSrl: return "SRL";
+    case Op::kSra: return "SRA";
+    case Op::kOr: return "OR";
+    case Op::kAnd: return "AND";
+    case Op::kAddw: return "ADDW";
+    case Op::kSubw: return "SUBW";
+    case Op::kSllw: return "SLLW";
+    case Op::kSrlw: return "SRLW";
+    case Op::kSraw: return "SRAW";
+    case Op::kLui: return "LUI";
+    case Op::kAuipc: return "AUIPC";
+    case Op::kJal: return "JAL";
+    case Op::kJalr: return "JALR";
+    case Op::kBeq: return "BEQ";
+    case Op::kBne: return "BNE";
+    case Op::kBlt: return "BLT";
+    case Op::kBge: return "BGE";
+    case Op::kBltu: return "BLTU";
+    case Op::kBgeu: return "BGEU";
+    case Op::kLb: return "LB";
+    case Op::kLh: return "LH";
+    case Op::kLw: return "LW";
+    case Op::kLd: return "LD";
+    case Op::kLbu: return "LBU";
+    case Op::kLhu: return "LHU";
+    case Op::kLwu: return "LWU";
+    case Op::kSb: return "SB";
+    case Op::kSh: return "SH";
+    case Op::kSw: return "SW";
+    case Op::kSd: return "SD";
+    case Op::kMul: return "MUL";
+    case Op::kMulh: return "MULH";
+    case Op::kDiv: return "DIV";
+    case Op::kDivu: return "DIVU";
+    case Op::kRem: return "REM";
+    case Op::kRemu: return "REMU";
+    case Op::kCsrrw: return "CSRRW";
+    case Op::kCsrrs: return "CSRRS";
+    case Op::kCsrrc: return "CSRRC";
+    case Op::kCsrrwi: return "CSRRWI";
+    case Op::kCsrrsi: return "CSRRSI";
+    case Op::kCsrrci: return "CSRRCI";
+    case Op::kFence: return "FENCE";
+    case Op::kEcall: return "ECALL";
+    case Op::kEbreak: return "EBREAK";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+unsigned access_size(Op op) {
+  switch (op) {
+    case Op::kLb: case Op::kLbu: case Op::kSb: return 1;
+    case Op::kLh: case Op::kLhu: case Op::kSh: return 2;
+    case Op::kLw: case Op::kLwu: case Op::kSw: return 4;
+    case Op::kLd: case Op::kSd: return 8;
+    default: return 0;
+  }
+}
+
+namespace csr {
+
+const std::vector<std::uint16_t>& fuzz_csr_pool() {
+  static const std::vector<std::uint16_t> kPool = [] {
+    std::vector<std::uint16_t> pool(kImplemented.begin(), kImplemented.end());
+    // Machine information registers.
+    for (std::uint16_t a : {0xf11, 0xf12, 0xf13, 0xf14}) pool.push_back(a);
+    // Machine trap setup/handling.
+    for (std::uint16_t a : {0x302, 0x303, 0x304, 0x306, 0x343, 0x344}) {
+      pool.push_back(a);
+    }
+    // PMP configuration/address registers.
+    for (std::uint16_t a = 0x3a0; a <= 0x3a3; ++a) pool.push_back(a);
+    for (std::uint16_t a = 0x3b0; a <= 0x3bf; ++a) pool.push_back(a);
+    // Hardware performance counters.
+    for (std::uint16_t a = 0xb03; a <= 0xb1f; ++a) pool.push_back(a);
+    for (std::uint16_t a = 0x323; a <= 0x33f; ++a) pool.push_back(a);
+    // User counters.
+    for (std::uint16_t a : {0xc00, 0xc01, 0xc02}) pool.push_back(a);
+    return pool;
+  }();
+  return kPool;
+}
+
+std::string_view name(std::uint16_t addr) {
+  switch (addr) {
+    case kMstatus: return "mstatus";
+    case kMisa: return "misa";
+    case kMtvec: return "mtvec";
+    case kMscratch: return "mscratch";
+    case kMepc: return "mepc";
+    case kMcause: return "mcause";
+    case kMcycle: return "mcycle";
+    case kMinstret: return "minstret";
+    case kMwaitEn: return "mwait_en";
+    case kMonitorAddr: return "monitor_addr";
+    case kMwaitTimer: return "mwait_timer";
+    case kZenbleedEn: return "zenbleed_en";
+    default: return "csr_unknown";
+  }
+}
+}  // namespace csr
+
+}  // namespace specure::riscv

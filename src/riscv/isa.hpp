@@ -1,0 +1,110 @@
+// RISC-V ISA definitions for the subset MiniBOOM implements:
+// RV64I base integer ISA + Zicsr + MUL/DIV from M. This is the instruction
+// vocabulary the fuzzer mutates over and the simulator executes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace specure::riscv {
+
+/// Mnemonic-level operation. kIllegal marks undecodable words; the
+/// simulator treats them as no-ops that still occupy pipeline slots
+/// (BOOM would raise an illegal-instruction trap; we model the trap as a
+/// pipeline flush with no architectural write).
+enum class Op : std::uint8_t {
+  kIllegal,
+  // RV64I register-immediate.
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAddiw, kSlliw, kSrliw, kSraiw,
+  // RV64I register-register.
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kAddw, kSubw, kSllw, kSrlw, kSraw,
+  // Upper-immediate / jumps.
+  kLui, kAuipc, kJal, kJalr,
+  // Conditional branches.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  // Loads / stores.
+  kLb, kLh, kLw, kLd, kLbu, kLhu, kLwu,
+  kSb, kSh, kSw, kSd,
+  // M subset.
+  kMul, kMulh, kDiv, kDivu, kRem, kRemu,
+  // Zicsr.
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // System / memory ordering (modeled as pipeline-serializing no-ops).
+  kFence, kEcall, kEbreak,
+  kCount,
+};
+
+/// Encoding format of an Op (drives encoder, mutators and generators).
+enum class Format : std::uint8_t { kR, kI, kS, kB, kU, kJ, kCsr, kCsrImm, kSys };
+
+/// ABI register names, upper-cased to match the paper's Table 1 rendering
+/// (e.g. "BGE S8, T5, 0x800025B0").
+constexpr std::array<std::string_view, 32> kAbiNames = {
+    "ZERO", "RA", "SP", "GP", "TP", "T0", "T1", "T2",
+    "S0",   "S1", "A0", "A1", "A2", "A3", "A4", "A5",
+    "A6",   "A7", "S2", "S3", "S4", "S5", "S6", "S7",
+    "S8",   "S9", "S10", "S11", "T3", "T4", "T5", "T6"};
+
+/// CSR addresses. Standard machine-mode CSRs plus the four custom CSRs the
+/// paper adds to BOOM to emulate the (M)WAIT and Zenbleed vulnerabilities
+/// (placed in the custom read/write range 0x800-0x8ff).
+namespace csr {
+constexpr std::uint16_t kMstatus = 0x300;
+constexpr std::uint16_t kMisa = 0x301;
+constexpr std::uint16_t kMtvec = 0x305;
+constexpr std::uint16_t kMscratch = 0x340;
+constexpr std::uint16_t kMepc = 0x341;
+constexpr std::uint16_t kMcause = 0x342;
+constexpr std::uint16_t kMcycle = 0xb00;
+constexpr std::uint16_t kMinstret = 0xb02;
+// Paper §4.2: new CSRs for (M)WAIT emulation.
+constexpr std::uint16_t kMwaitEn = 0x800;
+constexpr std::uint16_t kMonitorAddr = 0x801;
+constexpr std::uint16_t kMwaitTimer = 0x802;
+// Paper §4.2: new CSR for Zenbleed emulation.
+constexpr std::uint16_t kZenbleedEn = 0x803;
+
+/// All CSRs MiniBOOM implements, in a fixed order used by the CSR file.
+constexpr std::array<std::uint16_t, 12> kImplemented = {
+    kMstatus, kMisa,    kMtvec,      kMscratch,   kMepc,       kMcause,
+    kMcycle,  kMinstret, kMwaitEn,   kMonitorAddr, kMwaitTimer, kZenbleedEn};
+
+/// CSR addresses the fuzzer's instruction generator draws from: the
+/// implemented set plus the standard machine-mode address space from the
+/// privileged spec (a fuzzer targets the ISA's CSR list, not the PUT's
+/// implemented subset — most picks land on unimplemented CSRs, exactly as
+/// on real hardware).
+const std::vector<std::uint16_t>& fuzz_csr_pool();
+
+std::string_view name(std::uint16_t addr);
+}  // namespace csr
+
+/// Classification helpers over Op.
+constexpr bool is_branch(Op op) {
+  return op >= Op::kBeq && op <= Op::kBgeu;
+}
+constexpr bool is_jump(Op op) { return op == Op::kJal || op == Op::kJalr; }
+constexpr bool is_load(Op op) { return op >= Op::kLb && op <= Op::kLwu; }
+constexpr bool is_store(Op op) { return op >= Op::kSb && op <= Op::kSd; }
+constexpr bool is_csr(Op op) { return op >= Op::kCsrrw && op <= Op::kCsrrci; }
+constexpr bool is_control_flow(Op op) { return is_branch(op) || is_jump(op); }
+
+/// Format of each op.
+Format format_of(Op op);
+
+/// Mnemonic text ("ADD", "BGE", ...), upper-case.
+std::string_view mnemonic(Op op);
+
+/// Byte size of a load/store access (1/2/4/8).
+unsigned access_size(Op op);
+
+/// True for load ops that zero-extend (LBU/LHU/LWU).
+constexpr bool load_unsigned(Op op) {
+  return op == Op::kLbu || op == Op::kLhu || op == Op::kLwu;
+}
+
+}  // namespace specure::riscv

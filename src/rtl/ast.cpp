@@ -1,0 +1,35 @@
+#include "rtl/ast.hpp"
+
+namespace specure::rtl {
+
+ExprPtr make_number(std::uint64_t value, unsigned width) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->value = value;
+  e->width = width;
+  return e;
+}
+
+ExprPtr make_ident(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIdent;
+  e->name = std::move(name);
+  return e;
+}
+
+void collect_idents(const Expr& e, std::vector<std::string>& out) {
+  switch (e.kind) {
+    case ExprKind::kIdent:
+    case ExprKind::kIndex:
+    case ExprKind::kRange:
+      out.push_back(e.name);
+      break;
+    default:
+      break;
+  }
+  for (const auto& kid : e.kids) {
+    if (kid) collect_idents(*kid, out);
+  }
+}
+
+}  // namespace specure::rtl

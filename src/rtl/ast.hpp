@@ -1,0 +1,152 @@
+// Abstract syntax tree for the Verilog subset. Nodes are plain structs with
+// a kind tag; ownership is by std::unique_ptr down the tree. The elaborator
+// (elaborate.hpp) walks this AST to produce a flattened signal/flow model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specure::rtl {
+
+// ---------------------------------------------------------------- Expr ----
+
+enum class ExprKind : std::uint8_t {
+  kNumber,    ///< literal; value/width
+  kIdent,     ///< signal or parameter reference
+  kIndex,     ///< base[index]  (bit-select or memory word select)
+  kRange,     ///< base[msb:lsb] (part-select; constant bounds)
+  kUnary,     ///< op operand      (~ ! - & | ^)
+  kBinary,    ///< lhs op rhs
+  kTernary,   ///< cond ? then : else
+  kConcat,    ///< {a, b, c}
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+  // kNumber
+  std::uint64_t value = 0;
+  unsigned width = 32;
+  // kIdent / kIndex / kRange: referenced name
+  std::string name;
+  // kUnary / kBinary: operator spelling ("~", "+", "==", "&&", ...)
+  std::string op;
+  // Children: kIndex -> {index}, kRange -> {msb, lsb},
+  // kUnary -> {operand}, kBinary -> {lhs, rhs},
+  // kTernary -> {cond, then, else}, kConcat -> elements.
+  std::vector<std::unique_ptr<Expr>> kids;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr make_number(std::uint64_t value, unsigned width = 32);
+ExprPtr make_ident(std::string name);
+
+/// Collect the names of all identifiers appearing in an expression
+/// (the information-flow sources of the expression).
+void collect_idents(const Expr& e, std::vector<std::string>& out);
+
+// ---------------------------------------------------------------- Stmt ----
+
+enum class StmtKind : std::uint8_t {
+  kBlock,        ///< begin ... end
+  kBlockingAssign,
+  kNonBlockingAssign,
+  kIf,
+  kCase,
+  kNull,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct CaseArm {
+  std::vector<ExprPtr> labels;  ///< empty => default arm
+  StmtPtr body;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kNull;
+  // Assignments.
+  ExprPtr lhs;   ///< kIdent / kIndex / kRange / kConcat of those
+  ExprPtr rhs;
+  // If.
+  ExprPtr cond;
+  StmtPtr then_body;
+  StmtPtr else_body;  ///< may be null
+  // Case.
+  ExprPtr case_expr;
+  std::vector<CaseArm> arms;
+  // Block.
+  std::vector<StmtPtr> stmts;
+};
+
+// --------------------------------------------------------------- Items ----
+
+enum class NetKind : std::uint8_t { kWire, kReg, kInput, kOutput, kInout, kInteger };
+
+struct NetDecl {
+  NetKind kind = NetKind::kWire;
+  bool is_reg = false;        ///< e.g. "output reg"
+  std::string name;
+  ExprPtr msb, lsb;           ///< null for scalar; constant expressions
+  ExprPtr array_msb, array_lsb;  ///< non-null for memories: reg [..] m [msb:lsb]
+};
+
+struct ContinuousAssign {
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+enum class EdgeKind : std::uint8_t { kNone, kPosedge, kNegedge };
+
+struct SensItem {
+  EdgeKind edge = EdgeKind::kNone;
+  std::string signal;
+};
+
+struct AlwaysBlock {
+  bool combinational = false;     ///< @* or no-edge sensitivity list
+  std::vector<SensItem> sens;
+  StmtPtr body;
+};
+
+struct PortConnection {
+  std::string port;   ///< empty for positional
+  ExprPtr expr;       ///< may be null (unconnected)
+};
+
+struct Instance {
+  std::string module_name;
+  std::string instance_name;
+  std::vector<PortConnection> connections;
+  std::map<std::string, ExprPtr> param_overrides;
+};
+
+struct ParamDecl {
+  std::string name;
+  ExprPtr value;
+};
+
+struct Module {
+  std::string name;
+  std::vector<std::string> port_order;  ///< declared port order (for positional connects)
+  std::vector<NetDecl> nets;
+  std::vector<ParamDecl> params;
+  std::vector<ContinuousAssign> assigns;
+  std::vector<AlwaysBlock> always_blocks;
+  std::vector<Instance> instances;
+};
+
+struct Design {
+  std::map<std::string, Module> modules;
+
+  const Module* find(const std::string& name) const {
+    auto it = modules.find(name);
+    return it == modules.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace specure::rtl

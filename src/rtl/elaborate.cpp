@@ -1,0 +1,366 @@
+#include "rtl/elaborate.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace specure::rtl {
+
+ElaboratedDesign::SignalId ElaboratedDesign::add_signal(ElabSignal sig) {
+  auto [it, inserted] =
+      index_.emplace(sig.name, static_cast<SignalId>(signals_.size()));
+  if (!inserted) throw ElabError("duplicate signal: " + sig.name);
+  signals_.push_back(std::move(sig));
+  return it->second;
+}
+
+void ElaboratedDesign::add_flow(SignalId src, SignalId dst) {
+  if (src == dst) return;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | dst;
+  if (!flow_seen_.emplace(key, true).second) return;
+  flows_.emplace_back(src, dst);
+}
+
+const ElabSignal* ElaboratedDesign::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &signals_[it->second];
+}
+
+ElaboratedDesign::SignalId ElaboratedDesign::id_of(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) throw ElabError("unknown signal: " + name);
+  return it->second;
+}
+
+bool ElaboratedDesign::has(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+namespace {
+
+using ParamEnv = std::map<std::string, std::uint64_t>;
+
+std::uint64_t const_eval(const Expr& e, const ParamEnv& params) {
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      return e.value;
+    case ExprKind::kIdent: {
+      auto it = params.find(e.name);
+      if (it == params.end()) {
+        throw ElabError("non-constant identifier in constant context: " +
+                        e.name);
+      }
+      return it->second;
+    }
+    case ExprKind::kUnary: {
+      const std::uint64_t v = const_eval(*e.kids[0], params);
+      if (e.op == "~") return ~v;
+      if (e.op == "!") return v == 0;
+      if (e.op == "-") return 0 - v;
+      if (e.op == "+") return v;
+      throw ElabError("unsupported unary op in constant: " + e.op);
+    }
+    case ExprKind::kBinary: {
+      const std::uint64_t a = const_eval(*e.kids[0], params);
+      const std::uint64_t b = const_eval(*e.kids[1], params);
+      if (e.op == "+") return a + b;
+      if (e.op == "-") return a - b;
+      if (e.op == "*") return a * b;
+      if (e.op == "/") return b ? a / b : 0;
+      if (e.op == "%") return b ? a % b : 0;
+      if (e.op == "<<") return a << (b & 63);
+      if (e.op == ">>") return a >> (b & 63);
+      if (e.op == "==") return a == b;
+      if (e.op == "!=") return a != b;
+      if (e.op == "<") return a < b;
+      if (e.op == ">") return a > b;
+      if (e.op == "<=") return a <= b;
+      if (e.op == ">=") return a >= b;
+      if (e.op == "&") return a & b;
+      if (e.op == "|") return a | b;
+      if (e.op == "^") return a ^ b;
+      throw ElabError("unsupported binary op in constant: " + e.op);
+    }
+    case ExprKind::kTernary:
+      return const_eval(*e.kids[0], params) ? const_eval(*e.kids[1], params)
+                                            : const_eval(*e.kids[2], params);
+    default:
+      throw ElabError("unsupported expression in constant context");
+  }
+}
+
+/// Collect assignment-target base names from an lvalue expression
+/// (identifier, bit/part select, or concatenation of those).
+void collect_lvalue_names(const Expr& e, std::vector<std::string>& out) {
+  switch (e.kind) {
+    case ExprKind::kIdent:
+    case ExprKind::kIndex:
+    case ExprKind::kRange:
+      out.push_back(e.name);
+      // An index expression reads its index signals too, but as an lvalue
+      // the index contributes flow handled by the caller via rhs idents.
+      break;
+    case ExprKind::kConcat:
+      for (const auto& kid : e.kids) collect_lvalue_names(*kid, out);
+      break;
+    default:
+      throw ElabError("unsupported lvalue expression");
+  }
+}
+
+/// Collect identifiers read when an lvalue is *written* (array index
+/// expressions: mem[addr] <= x reads addr).
+void collect_lvalue_reads(const Expr& e, std::vector<std::string>& out) {
+  switch (e.kind) {
+    case ExprKind::kIndex:
+    case ExprKind::kRange:
+      for (const auto& kid : e.kids) collect_idents(*kid, out);
+      break;
+    case ExprKind::kConcat:
+      for (const auto& kid : e.kids) collect_lvalue_reads(*kid, out);
+      break;
+    default:
+      break;
+  }
+}
+
+class Elaborator {
+ public:
+  Elaborator(const Design& design, const ElabOptions& options)
+      : design_(design), options_(options) {}
+
+  ElaboratedDesign run(const std::string& top) {
+    const Module* mod = design_.find(top);
+    if (mod == nullptr) throw ElabError("top module not found: " + top);
+    instantiate(*mod, top, ParamEnv{}, 0, /*is_top=*/true);
+    // Resolve deferred flows now that all signals exist.
+    for (const auto& [src, dst] : pending_) {
+      if (out_.has(src) && out_.has(dst)) {
+        out_.add_flow(out_.id_of(src), out_.id_of(dst));
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void instantiate(const Module& mod, const std::string& prefix,
+                   const ParamEnv& overrides, unsigned depth, bool is_top) {
+    if (depth > options_.max_depth) {
+      throw ElabError("instantiation too deep (recursive hierarchy?) at " +
+                      prefix);
+    }
+    // Parameter environment: defaults evaluated in order, then overrides.
+    ParamEnv params;
+    for (const auto& p : mod.params) {
+      auto it = overrides.find(p.name);
+      params[p.name] =
+          it != overrides.end() ? it->second : const_eval(*p.value, params);
+    }
+    for (const auto& [name, value] : overrides) params[name] = value;
+
+    // Declare signals.
+    for (const auto& net : mod.nets) {
+      ElabSignal sig;
+      sig.name = prefix + "." + net.name;
+      if (net.msb) {
+        const std::uint64_t msb = const_eval(*net.msb, params);
+        const std::uint64_t lsb = const_eval(*net.lsb, params);
+        sig.width = static_cast<unsigned>(msb >= lsb ? msb - lsb + 1
+                                                     : lsb - msb + 1);
+      }
+      sig.is_top_input = is_top && net.kind == NetKind::kInput;
+      sig.is_top_output = is_top && net.kind == NetKind::kOutput;
+      if (out_.has(sig.name)) {
+        // Port re-declared in the body ("output q; ... reg q;"): merge the
+        // declarations instead of rejecting.
+        ElabSignal* existing = const_cast<ElabSignal*>(out_.find(sig.name));
+        existing->width = std::max(existing->width, sig.width);
+        existing->is_top_input |= sig.is_top_input;
+        existing->is_top_output |= sig.is_top_output;
+        continue;
+      }
+      out_.add_signal(std::move(sig));
+    }
+
+    // Continuous assigns.
+    for (const auto& a : mod.assigns) {
+      std::vector<std::string> targets, sources;
+      collect_lvalue_names(*a.lhs, targets);
+      collect_lvalue_reads(*a.lhs, sources);
+      collect_idents(*a.rhs, sources);
+      emit_flows(prefix, params, sources, targets);
+    }
+
+    // Always blocks.
+    for (const auto& blk : mod.always_blocks) {
+      std::vector<std::string> control;
+      walk_stmt(*blk.body, prefix, params, control, !blk.combinational);
+    }
+
+    // Instances.
+    for (const auto& inst : mod.instances) {
+      const Module* child = design_.find(inst.module_name);
+      if (child == nullptr) {
+        throw ElabError("unknown module '" + inst.module_name +
+                        "' instantiated at " + prefix);
+      }
+      const std::string child_prefix = prefix + "." + inst.instance_name;
+      // Parameter overrides (named and positional).
+      ParamEnv child_overrides;
+      std::size_t pos_index = 0;
+      for (const auto& [name, expr] : inst.param_overrides) {
+        std::string pname = name;
+        if (name.rfind("$pos", 0) == 0) {
+          const std::size_t idx = pos_index++;
+          if (idx >= child->params.size()) {
+            throw ElabError("too many positional parameters for " +
+                            inst.module_name);
+          }
+          pname = child->params[idx].name;
+        }
+        child_overrides[pname] = const_eval(*expr, params);
+      }
+      instantiate(*child, child_prefix, child_overrides, depth + 1, false);
+
+      // Port connections.
+      connect_ports(*child, inst, prefix, child_prefix, params);
+    }
+  }
+
+  void connect_ports(const Module& child, const Instance& inst,
+                     const std::string& parent_prefix,
+                     const std::string& child_prefix, const ParamEnv& params) {
+    // Build port name -> direction map from the child's net decls.
+    std::map<std::string, NetKind> port_dir;
+    for (const auto& net : child.nets) {
+      if (net.kind == NetKind::kInput || net.kind == NetKind::kOutput ||
+          net.kind == NetKind::kInout) {
+        port_dir[net.name] = net.kind;
+      }
+    }
+    std::size_t positional = 0;
+    for (const auto& conn : inst.connections) {
+      if (!conn.expr) continue;  // explicitly unconnected
+      std::string port = conn.port;
+      if (port.empty()) {
+        if (positional >= child.port_order.size()) {
+          throw ElabError("too many positional connections for " +
+                          inst.module_name);
+        }
+        port = child.port_order[positional++];
+      }
+      auto dir_it = port_dir.find(port);
+      if (dir_it == port_dir.end()) {
+        throw ElabError("unknown port '" + port + "' on module " +
+                        child.name);
+      }
+      const std::string child_sig = child_prefix + "." + port;
+      std::vector<std::string> parent_names;
+      collect_idents(*conn.expr, parent_names);
+      for (const auto& pname : parent_names) {
+        if (params.count(pname) != 0) continue;  // constant parameter
+        const std::string parent_sig = parent_prefix + "." + pname;
+        switch (dir_it->second) {
+          case NetKind::kInput:
+            pending_.emplace_back(parent_sig, child_sig);
+            break;
+          case NetKind::kOutput:
+            pending_.emplace_back(child_sig, parent_sig);
+            break;
+          default:  // inout: both directions
+            pending_.emplace_back(parent_sig, child_sig);
+            pending_.emplace_back(child_sig, parent_sig);
+            break;
+        }
+      }
+    }
+  }
+
+  void walk_stmt(const Stmt& s, const std::string& prefix,
+                 const ParamEnv& params, std::vector<std::string>& control,
+                 bool edge_triggered) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& sub : s.stmts) {
+          walk_stmt(*sub, prefix, params, control, edge_triggered);
+        }
+        break;
+      case StmtKind::kBlockingAssign:
+      case StmtKind::kNonBlockingAssign: {
+        std::vector<std::string> targets, sources;
+        collect_lvalue_names(*s.lhs, targets);
+        collect_lvalue_reads(*s.lhs, sources);
+        collect_idents(*s.rhs, sources);
+        if (options_.implicit_flows) {
+          sources.insert(sources.end(), control.begin(), control.end());
+        }
+        emit_flows(prefix, params, sources, targets);
+        if (edge_triggered) {
+          for (const auto& t : targets) mark_register(prefix + "." + t);
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        const std::size_t mark = control.size();
+        collect_idents(*s.cond, control);
+        walk_stmt(*s.then_body, prefix, params, control, edge_triggered);
+        if (s.else_body) {
+          walk_stmt(*s.else_body, prefix, params, control, edge_triggered);
+        }
+        control.resize(mark);
+        break;
+      }
+      case StmtKind::kCase: {
+        const std::size_t mark = control.size();
+        collect_idents(*s.case_expr, control);
+        for (const auto& arm : s.arms) {
+          for (const auto& label : arm.labels) collect_idents(*label, control);
+        }
+        for (const auto& arm : s.arms) {
+          walk_stmt(*arm.body, prefix, params, control, edge_triggered);
+        }
+        control.resize(mark);
+        break;
+      }
+      case StmtKind::kNull:
+        break;
+    }
+  }
+
+  void emit_flows(const std::string& prefix, const ParamEnv& params,
+                  const std::vector<std::string>& sources,
+                  const std::vector<std::string>& targets) {
+    for (const auto& t : targets) {
+      const std::string dst = prefix + "." + t;
+      for (const auto& src_name : sources) {
+        if (params.count(src_name) != 0) continue;  // parameters: constants
+        pending_.emplace_back(prefix + "." + src_name, dst);
+      }
+    }
+  }
+
+  void mark_register(const std::string& name) {
+    register_names_.push_back(name);
+    if (out_.has(name)) {
+      // Safe: add_signal never reorders; const_cast confined here.
+      const ElabSignal* sig = out_.find(name);
+      const_cast<ElabSignal*>(sig)->is_register = true;
+    }
+  }
+
+  const Design& design_;
+  const ElabOptions& options_;
+  ElaboratedDesign out_;
+  std::vector<std::pair<std::string, std::string>> pending_;
+  std::vector<std::string> register_names_;
+};
+
+}  // namespace
+
+ElaboratedDesign elaborate(const Design& design, const std::string& top,
+                           const ElabOptions& options) {
+  return Elaborator(design, options).run(top);
+}
+
+}  // namespace specure::rtl

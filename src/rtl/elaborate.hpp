@@ -1,0 +1,83 @@
+// Elaboration: AST -> flattened signal/flow model.
+//
+// Instantiates the module hierarchy starting from a top module, resolving
+// parameters, assigning every net a hierarchical name ("top.df1.q"), and
+// deriving *information-flow* edges:
+//   - continuous assigns: every RHS identifier flows to every LHS target;
+//   - procedural assigns: RHS identifiers plus enclosing control-condition
+//     identifiers (implicit flows, configurable) flow to the LHS;
+//   - port connections: parent expression -> child input port, and child
+//     output port -> parent target.
+// Clock/reset signals in sensitivity lists do NOT create flow edges — this
+// matches the paper's worked IFG example (Listing 1), where no
+// (clk -> q) edge appears.
+//
+// The result feeds ift::Ifg (DESIGN.md E1/E2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rtl/ast.hpp"
+
+namespace specure::rtl {
+
+struct ElabSignal {
+  std::string name;        ///< hierarchical name, e.g. "top.df1.q"
+  unsigned width = 1;
+  bool is_register = false;  ///< assigned under an edge-triggered always
+  bool is_top_input = false;
+  bool is_top_output = false;
+};
+
+struct ElabOptions {
+  /// Include implicit flows from if/case conditions to assigned targets.
+  bool implicit_flows = true;
+  /// Maximum hierarchy depth (guards against recursive instantiation).
+  unsigned max_depth = 64;
+};
+
+struct ElabError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class ElaboratedDesign {
+ public:
+  using SignalId = std::uint32_t;
+
+  /// Add a signal; returns its id. Duplicate names throw.
+  SignalId add_signal(ElabSignal sig);
+
+  /// Add a flow edge src -> dst (self-loops and duplicates dropped).
+  void add_flow(SignalId src, SignalId dst);
+
+  const std::vector<ElabSignal>& signals() const { return signals_; }
+  const std::vector<std::pair<SignalId, SignalId>>& flows() const {
+    return flows_;
+  }
+
+  /// Lookup by hierarchical name; returns nullptr if absent.
+  const ElabSignal* find(const std::string& name) const;
+  /// Id lookup; throws ElabError if absent.
+  SignalId id_of(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  std::size_t signal_count() const { return signals_.size(); }
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  std::vector<ElabSignal> signals_;
+  std::vector<std::pair<SignalId, SignalId>> flows_;
+  std::unordered_map<std::string, SignalId> index_;
+  std::unordered_map<std::uint64_t, bool> flow_seen_;
+};
+
+/// Elaborate `top` within `design`. Throws ElabError on missing modules,
+/// unresolvable constants, or duplicate signals.
+ElaboratedDesign elaborate(const Design& design, const std::string& top,
+                           const ElabOptions& options = {});
+
+}  // namespace specure::rtl

@@ -1,0 +1,226 @@
+#include "rtl/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace specure::rtl {
+
+namespace {
+
+constexpr std::array<std::string_view, 26> kKeywords = {
+    "module", "endmodule", "input",  "output",    "inout",   "wire",
+    "reg",    "assign",    "always", "posedge",   "negedge", "begin",
+    "end",    "if",        "else",   "case",      "endcase", "default",
+    "or",     "parameter", "localparam", "integer", "genvar", "generate",
+    "endgenerate", "initial"};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw LexError("lex error at " + std::to_string(line_) + ":" +
+                   std::to_string(col_) + ": " + what);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+unsigned digit_value(char c, unsigned base, Cursor& cur) {
+  unsigned v;
+  if (c >= '0' && c <= '9') v = static_cast<unsigned>(c - '0');
+  else if (c >= 'a' && c <= 'f') v = static_cast<unsigned>(c - 'a' + 10);
+  else if (c >= 'A' && c <= 'F') v = static_cast<unsigned>(c - 'A' + 10);
+  else { cur.fail(std::string("bad digit '") + c + "'"); }
+  if (v >= base) cur.fail(std::string("digit '") + c + "' out of base range");
+  return v;
+}
+
+// Multi-char puncts, longest first.
+constexpr std::array<std::string_view, 13> kPuncts3 = {
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=",
+    "&&",  "||",  "<<",  ">>",  "@*"};
+
+}  // namespace
+
+bool is_keyword(std::string_view word) {
+  for (auto kw : kKeywords) {
+    if (kw == word) return true;
+  }
+  return false;
+}
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor cur(source);
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.take();
+      continue;
+    }
+    // Comments and directives.
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.take();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.take();
+      cur.take();
+      while (!(cur.peek() == '*' && cur.peek(1) == '/')) {
+        if (cur.done()) cur.fail("unterminated block comment");
+        cur.take();
+      }
+      cur.take();
+      cur.take();
+      continue;
+    }
+    if (c == '`') {  // compiler directive: skip to end of line
+      while (!cur.done() && cur.peek() != '\n') cur.take();
+      continue;
+    }
+
+    Token tok;
+    tok.line = cur.line();
+    tok.col = cur.col();
+
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::string word;
+      while (!cur.done() && ident_char(cur.peek())) word.push_back(cur.take());
+      tok.text = std::move(word);
+      tok.kind = is_keyword(tok.text) ? TokKind::kKeyword : TokKind::kIdent;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Escaped identifier: \foo.bar  (terminated by whitespace).
+    if (c == '\\') {
+      cur.take();
+      std::string word;
+      while (!cur.done() && !std::isspace(static_cast<unsigned char>(cur.peek()))) {
+        word.push_back(cur.take());
+      }
+      tok.text = std::move(word);
+      tok.kind = TokKind::kIdent;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Number: plain decimal, or [size]'<base><digits>.
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+      std::uint64_t size = 0;
+      bool have_size = false;
+      while (std::isdigit(static_cast<unsigned char>(cur.peek())) ||
+             cur.peek() == '_') {
+        const char d = cur.take();
+        if (d == '_') continue;
+        size = size * 10 + static_cast<std::uint64_t>(d - '0');
+        have_size = true;
+      }
+      if (cur.peek() == '\'') {
+        cur.take();
+        char basech = cur.take();
+        if (basech == 's' || basech == 'S') basech = cur.take();  // signed
+        unsigned base = 0;
+        switch (std::tolower(static_cast<unsigned char>(basech))) {
+          case 'b': base = 2; break;
+          case 'o': base = 8; break;
+          case 'd': base = 10; break;
+          case 'h': base = 16; break;
+          default: cur.fail("bad base specifier");
+        }
+        std::uint64_t value = 0;
+        bool any = false;
+        while (ident_char(cur.peek())) {
+          const char d = cur.take();
+          if (d == '_') continue;
+          if (d == 'x' || d == 'X' || d == 'z' || d == 'Z' || d == '?') {
+            // x/z bits carry no information-flow content; treat as 0.
+            value = value * base;
+            any = true;
+            continue;
+          }
+          value = value * base + digit_value(d, base, cur);
+          any = true;
+        }
+        if (!any) cur.fail("based literal with no digits");
+        tok.kind = TokKind::kNumber;
+        tok.value = value;
+        tok.width = have_size ? static_cast<unsigned>(size) : 32;
+        out.push_back(std::move(tok));
+        continue;
+      }
+      tok.kind = TokKind::kNumber;
+      tok.value = size;
+      tok.width = 32;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation: try 3- and 2-char spellings first.
+    bool matched = false;
+    for (auto p : kPuncts3) {
+      bool ok = true;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        if (cur.peek(i) != p[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (std::size_t i = 0; i < p.size(); ++i) cur.take();
+        tok.kind = TokKind::kPunct;
+        tok.text = std::string(p);
+        out.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kSingles = "()[]{}:;,.#@?=+-*/%<>!&|^~";
+    if (kSingles.find(c) != std::string_view::npos) {
+      cur.take();
+      tok.kind = TokKind::kPunct;
+      tok.text = std::string(1, c);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    cur.fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.line = cur.line();
+  eof.col = cur.col();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace specure::rtl

@@ -1,0 +1,51 @@
+// Lexer for the synthesizable Verilog subset Specure's offline phase
+// consumes (the Pyverilog substitute, see DESIGN.md §1). Produces a flat
+// token stream with line/column positions for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specure::rtl {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdent,     ///< identifier or escaped identifier
+  kKeyword,   ///< one of the reserved words below
+  kNumber,    ///< decimal or based literal (4'b1010, 8'hff, 42)
+  kPunct,     ///< operator / punctuation, text in `text`
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;          ///< identifier text / keyword / punct spelling
+  std::uint64_t value = 0;   ///< numeric value for kNumber
+  unsigned width = 32;       ///< declared width for based literals
+  int line = 0;
+  int col = 0;
+
+  bool is_kw(std::string_view kw) const {
+    return kind == TokKind::kKeyword && text == kw;
+  }
+  bool is_punct(std::string_view p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+};
+
+/// Thrown on malformed input (bad literal, unterminated comment, stray
+/// character). Carries a human-readable message with position info.
+struct LexError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Tokenize a complete source text. Comments (// and /* */) and
+/// compiler directives (`timescale etc., to end of line) are skipped.
+std::vector<Token> lex(std::string_view source);
+
+/// True if the word is reserved in our subset.
+bool is_keyword(std::string_view word);
+
+}  // namespace specure::rtl

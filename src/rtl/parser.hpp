@@ -1,0 +1,27 @@
+// Recursive-descent parser for the Verilog subset. Accepts both ANSI
+// (module m(input a, output reg [3:0] b);) and classic (ports declared in
+// the body) header styles, continuous assigns, always blocks with
+// if/case/begin-end, module instances with named or positional
+// connections, and parameter declarations/overrides.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "rtl/ast.hpp"
+
+namespace specure::rtl {
+
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse complete Verilog source into a Design. Throws ParseError/LexError
+/// on malformed input.
+Design parse(std::string_view source);
+
+/// Parse a file from disk. Throws std::runtime_error if unreadable.
+Design parse_file(const std::string& path);
+
+}  // namespace specure::rtl

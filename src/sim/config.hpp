@@ -1,0 +1,73 @@
+// Configuration for the MiniBOOM processor model: microarchitectural
+// parameters plus the vulnerability-emulation switches from the paper's
+// §4.2 ((M)WAIT and Zenbleed) and the inherent speculative features
+// (Spectre v1/v2 surface exists whenever speculation is on).
+#pragma once
+
+#include <cstdint>
+
+namespace specure::sim {
+
+struct VulnConfig {
+  /// Emulate the (M)WAIT vulnerability: three CSRs (mwait_en,
+  /// monitor_addr, mwait_timer) and a data-cache hook that clears the
+  /// timer when the monitored line changes — including changes caused by
+  /// *speculative* accesses (the root cause).
+  bool mwait_emulation = false;
+
+  /// Emulate Zenbleed: when the zenbleed_en CSR is non-zero, the rename
+  /// map-table checkpoint is NOT restored on misprediction rollback, so
+  /// speculative register-file changes persist architecturally.
+  bool zenbleed_emulation = false;
+};
+
+struct CoreConfig {
+  // Pipeline shape.
+  unsigned rob_entries = 16;
+  unsigned phys_regs = 128;
+  unsigned retire_width = 2;
+
+  // Timing (cycles).
+  unsigned branch_resolve_latency = 20;  ///< issue -> resolution
+  unsigned jalr_resolve_latency = 16;
+  unsigned load_hit_latency = 2;
+  unsigned load_miss_latency = 12;
+  unsigned mul_latency = 4;
+  unsigned div_latency = 10;
+
+  // Branch predictor.
+  unsigned ghist_bits = 8;     ///< gshare history length
+  unsigned pht_entries = 64;   ///< 2-bit counters
+  unsigned btb_entries = 8;
+  unsigned ras_entries = 4;
+
+  // L1 data cache.
+  unsigned dcache_sets = 8;
+  unsigned dcache_ways = 2;
+  unsigned dcache_line_bytes = 16;
+
+  // TLB.
+  unsigned tlb_entries = 4;
+  unsigned page_bits = 12;
+
+  // Execution limits.
+  std::uint64_t max_cycles = 4096;
+
+  // MWAIT emulation: countdown start value loaded when mwait_en is armed.
+  std::uint64_t mwait_timer_start = 1024;
+
+  VulnConfig vuln;
+};
+
+/// Negative-control configuration: branches resolve the cycle after they
+/// issue, so no younger instruction ever executes under an open window —
+/// an in-order-equivalent core. Used to show the entire finding surface
+/// vanishes without speculation (the root-cause sanity check).
+inline CoreConfig no_speculation_config() {
+  CoreConfig cfg;
+  cfg.branch_resolve_latency = 1;
+  cfg.jalr_resolve_latency = 1;
+  return cfg;
+}
+
+}  // namespace specure::sim

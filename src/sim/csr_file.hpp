@@ -1,0 +1,53 @@
+// CSR file with the paper's (M)WAIT emulation logic (§4.2).
+//
+// CSR writes take effect at *commit* (serialized, like real CSR side
+// effects), so squashed CSR instructions never alter this state — except
+// through the emulated (M)WAIT bug, where the data cache clears
+// mwait_timer on monitored-line changes including ones caused by
+// speculative (later-squashed) memory accesses. That asynchronous clear is
+// the architecture-visible leak Specure must find.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "riscv/isa.hpp"
+#include "sim/config.hpp"
+
+namespace specure::sim {
+
+class CsrFile {
+ public:
+  explicit CsrFile(const CoreConfig& cfg);
+
+  std::uint64_t read(std::uint16_t addr) const;
+  /// Commit-time write. Arming mwait_en loads the countdown timer.
+  void write(std::uint16_t addr, std::uint64_t value);
+  bool implemented(std::uint16_t addr) const;
+
+  /// Per-cycle (M)WAIT timer behaviour: countdown while armed; when the
+  /// timer reaches zero it is set to one (the "wake" indication the paper
+  /// describes). No-op unless mwait emulation is configured and armed.
+  void tick();
+
+  /// Data-cache hook target: a monitored-line change zeroes the timer.
+  void on_monitored_line_change();
+
+  /// True when (M)WAIT emulation is configured, armed, and the given line
+  /// base matches the monitored address's line.
+  bool monitoring(std::uint64_t line_base, unsigned line_bytes) const;
+
+  // Named accessors for snapshot export.
+  std::uint64_t value_at(std::size_t index) const { return values_[index]; }
+  static constexpr std::size_t count() {
+    return riscv::csr::kImplemented.size();
+  }
+
+ private:
+  std::size_t index_of(std::uint16_t addr) const;
+
+  const CoreConfig& cfg_;
+  std::array<std::uint64_t, riscv::csr::kImplemented.size()> values_{};
+};
+
+}  // namespace specure::sim

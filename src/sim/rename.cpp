@@ -1,0 +1,66 @@
+#include "sim/rename.hpp"
+
+#include <algorithm>
+
+namespace specure::sim {
+
+RenameStage::RenameStage(const CoreConfig& cfg)
+    : cfg_(cfg), prf_(cfg.phys_regs, 0) {
+  // Identity initial mapping: arch i -> phys i; the rest are free.
+  for (unsigned i = 0; i < 32; ++i) maptable_[i] = static_cast<PhysReg>(i);
+  for (unsigned p = cfg.phys_regs; p-- > 32;) {
+    freelist_.push_back(static_cast<PhysReg>(p));
+  }
+}
+
+bool RenameStage::allocate(unsigned arch, PhysReg& new_phys,
+                           PhysReg& old_phys) {
+  if (arch == 0) {  // x0 is hardwired zero; no rename.
+    new_phys = 0;
+    old_phys = 0;
+    return true;
+  }
+  if (freelist_.empty()) return false;
+  new_phys = freelist_.back();
+  freelist_.pop_back();
+  old_phys = maptable_[arch];
+  // The architectural register keeps its old value until the producer
+  // writes back: seed the new physical register with the old contents so
+  // the map-table view never exposes stale data from a previous
+  // allocation.
+  prf_[new_phys] = prf_[old_phys];
+  maptable_[arch] = new_phys;
+  return true;
+}
+
+void RenameStage::checkpoint(unsigned rob_index) {
+  checkpoints_[rob_index] = maptable_;
+}
+
+void RenameStage::rollback(unsigned rob_index, bool suppress_restore) {
+  auto it = checkpoints_.find(rob_index);
+  if (it != checkpoints_.end()) {
+    if (!suppress_restore) maptable_ = it->second;
+    // Drop this and all younger checkpoints. Checkpoint keys are ROB
+    // indices of still-unresolved branches; "younger" here is handled by
+    // the core, which rolls back the youngest mispredicted branch first
+    // and squashes the rest individually.
+    checkpoints_.erase(it);
+  }
+}
+
+void RenameStage::release_checkpoint(unsigned rob_index) {
+  checkpoints_.erase(rob_index);
+}
+
+void RenameStage::commit_free(PhysReg old_phys) {
+  // Initial identity mappings (phys 1..31) are freed too once their arch
+  // register is renamed and committed; phys 0 is the constant zero.
+  if (old_phys != 0) freelist_.push_back(old_phys);
+}
+
+void RenameStage::squash_free(PhysReg new_phys) {
+  if (new_phys != 0) freelist_.push_back(new_phys);
+}
+
+}  // namespace specure::sim

@@ -1,0 +1,335 @@
+#include "sim/structure.hpp"
+
+#include <sstream>
+
+#include "riscv/isa.hpp"
+
+namespace specure::sim {
+
+using snapshot::SignalClass;
+
+namespace {
+
+constexpr unsigned kPhtBitsPerWord = 32;  ///< 2-bit counters packed 32/word
+
+std::string idx_name(const std::string& base, unsigned i) {
+  return base + "_" + std::to_string(i);
+}
+std::string idx2_name(const std::string& base, unsigned i, unsigned j) {
+  return base + "_" + std::to_string(i) + "_" + std::to_string(j);
+}
+
+}  // namespace
+
+std::vector<SigDesc> describe_signals(const CoreConfig& cfg) {
+  std::vector<SigDesc> out;
+  auto add = [&out](SigKind kind, unsigned i, unsigned j, std::string name,
+                    unsigned width, SignalClass cls, bool is_register) {
+    out.push_back({kind, i, j, std::move(name), width, cls, is_register});
+  };
+
+  // Fetch: the speculative fetch PC is microarchitectural state; the committed
+  // PC (below, kCommitPc) is the architectural program counter.
+  add(SigKind::kFetchPc, 0, 0, "core.fetch.spec_pc", 64,
+      SignalClass::kMicroarchitectural, true);
+
+  // Architectural register file view (through the rename map table).
+  for (unsigned i = 0; i < 32; ++i) {
+    add(SigKind::kRfX, i, 0, "core.rf.x" + std::to_string(i), 64,
+        SignalClass::kArchitectural, true);
+  }
+  // CSRs (architecturally visible by definition).
+  for (unsigned i = 0; i < riscv::csr::kImplemented.size(); ++i) {
+    add(SigKind::kCsr, i, 0,
+        "core.csr." + std::string(riscv::csr::name(riscv::csr::kImplemented[i])),
+        64, SignalClass::kArchitectural, true);
+  }
+  // Rename.
+  for (unsigned i = 0; i < 32; ++i) {
+    add(SigKind::kMapTable, i, 0, idx_name("core.rename.maptable", i), 8,
+        SignalClass::kMicroarchitectural, true);
+  }
+  add(SigKind::kFreeCount, 0, 0, "core.rename.freelist_count", 8,
+      SignalClass::kMicroarchitectural, true);
+  for (unsigned i = 0; i < cfg.phys_regs; ++i) {
+    add(SigKind::kPrf, i, 0, "core.prf.p" + std::to_string(i), 64,
+        SignalClass::kMicroarchitectural, true);
+  }
+  // ROB bookkeeping.
+  add(SigKind::kRobHead, 0, 0, "core.rob.head", 8,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kRobTail, 0, 0, "core.rob.tail", 8,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kRobCount, 0, 0, "core.rob.count", 8,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kRobUnsafe, 0, 0, "core.rob.unsafe", 1,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kRobSpecPc, 0, 0, "core.rob.spec_pc", 64,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kRobSpecInst, 0, 0, "core.rob.spec_inst", 32,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kBrupdValid, 0, 0, "core.rob.brupdate_valid", 1,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kBrupdMispredict, 0, 0, "core.rob.brupdate_mispredict", 1,
+      SignalClass::kMicroarchitectural, true);
+  // Commit interface.
+  add(SigKind::kCommitValid, 0, 0, "core.commit.valid", 1,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kCommitPc, 0, 0, "core.commit.pc", 64,
+      SignalClass::kArchitectural, true);
+  add(SigKind::kCommitInst, 0, 0, "core.commit.inst", 32,
+      SignalClass::kMicroarchitectural, true);
+  add(SigKind::kCommitRd, 0, 0, "core.commit.rd", 6,
+      SignalClass::kMicroarchitectural, true);
+  // Branch predictor.
+  add(SigKind::kBpGhist, 0, 0, "core.bp.ghist", cfg.ghist_bits,
+      SignalClass::kMicroarchitectural, true);
+  const unsigned pht_words =
+      (cfg.pht_entries + kPhtBitsPerWord - 1) / kPhtBitsPerWord;
+  for (unsigned i = 0; i < pht_words; ++i) {
+    add(SigKind::kBpPht, i, 0, idx_name("core.bp.pht", i), 64,
+        SignalClass::kMicroarchitectural, true);
+  }
+  for (unsigned i = 0; i < cfg.btb_entries; ++i) {
+    add(SigKind::kBtbTag, i, 0, idx_name("core.bp.btb_tag", i), 64,
+        SignalClass::kMicroarchitectural, true);
+    add(SigKind::kBtbTarget, i, 0, idx_name("core.bp.btb_target", i), 64,
+        SignalClass::kMicroarchitectural, true);
+  }
+  for (unsigned i = 0; i < cfg.ras_entries; ++i) {
+    add(SigKind::kRas, i, 0, idx_name("core.bp.ras", i), 64,
+        SignalClass::kMicroarchitectural, true);
+  }
+  add(SigKind::kRasTop, 0, 0, "core.bp.ras_top", 4,
+      SignalClass::kMicroarchitectural, true);
+  // D-cache arrays.
+  for (unsigned s = 0; s < cfg.dcache_sets; ++s) {
+    for (unsigned w = 0; w < cfg.dcache_ways; ++w) {
+      add(SigKind::kDcValid, s, w, idx2_name("core.dcache.valid", s, w), 1,
+          SignalClass::kMicroarchitectural, true);
+      add(SigKind::kDcTag, s, w, idx2_name("core.dcache.tag", s, w), 64,
+          SignalClass::kMicroarchitectural, true);
+      add(SigKind::kDcData, s, w, idx2_name("core.dcache.data", s, w), 64,
+          SignalClass::kMicroarchitectural, true);
+    }
+    add(SigKind::kDcLru, s, 0, idx_name("core.dcache.lru", s), 4,
+        SignalClass::kMicroarchitectural, true);
+  }
+  // TLB.
+  for (unsigned i = 0; i < cfg.tlb_entries; ++i) {
+    add(SigKind::kTlbValid, i, 0, idx_name("core.tlb.valid", i), 1,
+        SignalClass::kMicroarchitectural, true);
+    add(SigKind::kTlbVpn, i, 0, idx_name("core.tlb.vpn", i), 52,
+        SignalClass::kMicroarchitectural, true);
+    add(SigKind::kTlbPpn, i, 0, idx_name("core.tlb.ppn", i), 52,
+        SignalClass::kMicroarchitectural, true);
+  }
+  // Wires (buses).
+  add(SigKind::kExecResult, 0, 0, "core.exec.result", 64, SignalClass::kWire,
+      false);
+  add(SigKind::kLsuAddr, 0, 0, "core.lsu.addr", 64, SignalClass::kWire,
+      false);
+  add(SigKind::kLsuLoadData, 0, 0, "core.lsu.load_data", 64,
+      SignalClass::kWire, false);
+  // Pulse raised when a speculative load dereferences a tainted
+  // (speculatively-loaded) address — the Spectre v1 gadget signature the
+  // Vulnerability Detector keys on when the data cache is monitored.
+  add(SigKind::kLsuTaintedAccess, 0, 0, "core.lsu.tainted_access", 1,
+      SignalClass::kMicroarchitectural, true);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> describe_flows(
+    const CoreConfig& cfg) {
+  std::vector<std::pair<std::string, std::string>> f;
+  auto edge = [&f](std::string a, std::string b) {
+    f.emplace_back(std::move(a), std::move(b));
+  };
+  const unsigned pht_words =
+      (cfg.pht_entries + kPhtBitsPerWord - 1) / kPhtBitsPerWord;
+
+  // Branch predictor <-> fetch.
+  edge("core.bp.ghist", "core.fetch.spec_pc");
+  for (unsigned i = 0; i < pht_words; ++i) {
+    edge(idx_name("core.bp.pht", i), "core.fetch.spec_pc");
+    edge("core.fetch.spec_pc", idx_name("core.bp.pht", i));
+  }
+  for (unsigned i = 0; i < cfg.btb_entries; ++i) {
+    edge(idx_name("core.bp.btb_target", i), "core.fetch.spec_pc");
+    edge(idx_name("core.bp.btb_tag", i), "core.fetch.spec_pc");
+    edge("core.fetch.spec_pc", idx_name("core.bp.btb_tag", i));
+    edge("core.exec.result", idx_name("core.bp.btb_target", i));
+  }
+  for (unsigned i = 0; i < cfg.ras_entries; ++i) {
+    edge(idx_name("core.bp.ras", i), "core.fetch.spec_pc");
+    edge("core.fetch.spec_pc", idx_name("core.bp.ras", i));
+  }
+  edge("core.bp.ras_top", "core.fetch.spec_pc");
+  edge("core.fetch.spec_pc", "core.bp.ghist");
+  edge("core.fetch.spec_pc", "core.bp.ras_top");
+
+  // Fetch -> ROB window bookkeeping and the architectural PC.
+  edge("core.fetch.spec_pc", "core.rob.spec_pc");
+  edge("core.fetch.spec_pc", "core.rob.spec_inst");
+  edge("core.fetch.spec_pc", "core.rob.unsafe");
+  edge("core.fetch.spec_pc", "core.commit.pc");
+  edge("core.rob.head", "core.commit.valid");
+  edge("core.rob.head", "core.commit.pc");
+  edge("core.rob.head", "core.commit.inst");
+  edge("core.rob.head", "core.commit.rd");
+  edge("core.rob.unsafe", "core.rob.brupdate_valid");
+  edge("core.rob.unsafe", "core.rob.brupdate_mispredict");
+  edge("core.rob.tail", "core.rob.count");
+  edge("core.rob.head", "core.rob.count");
+  edge("core.rob.spec_pc", "core.rob.brupdate_valid");
+
+  // Execute datapath: PRF -> result bus -> PRF (ALU), plus CSR reads.
+  for (unsigned i = 0; i < cfg.phys_regs; ++i) {
+    edge("core.prf.p" + std::to_string(i), "core.exec.result");
+    edge("core.exec.result", "core.prf.p" + std::to_string(i));
+  }
+  for (unsigned c = 0; c < riscv::csr::kImplemented.size(); ++c) {
+    const std::string csr_sig =
+        "core.csr." +
+        std::string(riscv::csr::name(riscv::csr::kImplemented[c]));
+    edge(csr_sig, "core.exec.result");       // CSR read
+    edge("core.exec.result", csr_sig);       // commit-time CSR write
+  }
+
+  // Rename: map table selects which physical register backs each
+  // architectural register; PRF data flows into the architectural view.
+  for (unsigned i = 0; i < 32; ++i) {
+    const std::string rf = "core.rf.x" + std::to_string(i);
+    edge(idx_name("core.rename.maptable", i), rf);
+    for (unsigned p = 0; p < cfg.phys_regs; ++p) {
+      edge("core.prf.p" + std::to_string(p), rf);
+    }
+    edge("core.rename.freelist_count", idx_name("core.rename.maptable", i));
+  }
+
+  // LSU / D-cache: address from PRF; data from cache arrays.
+  edge("core.exec.result", "core.lsu.addr");
+  for (unsigned s = 0; s < cfg.dcache_sets; ++s) {
+    for (unsigned w = 0; w < cfg.dcache_ways; ++w) {
+      edge("core.lsu.addr", idx2_name("core.dcache.valid", s, w));
+      edge("core.lsu.addr", idx2_name("core.dcache.tag", s, w));
+      edge("core.lsu.addr", idx2_name("core.dcache.data", s, w));
+      edge(idx2_name("core.dcache.data", s, w), "core.lsu.load_data");
+      edge(idx2_name("core.dcache.valid", s, w), "core.lsu.load_data");
+      edge(idx2_name("core.dcache.tag", s, w), "core.lsu.load_data");
+      edge("core.lsu.addr", idx_name("core.dcache.lru", s));
+    }
+  }
+  edge("core.lsu.load_data", "core.exec.result");
+  edge("core.lsu.addr", "core.lsu.tainted_access");
+  edge("core.lsu.load_data", "core.lsu.tainted_access");
+
+  // TLB: indexed by address, translation feeds the address path.
+  for (unsigned i = 0; i < cfg.tlb_entries; ++i) {
+    edge("core.lsu.addr", idx_name("core.tlb.valid", i));
+    edge("core.lsu.addr", idx_name("core.tlb.vpn", i));
+    edge(idx_name("core.tlb.ppn", i), "core.lsu.addr");
+    edge(idx_name("core.tlb.vpn", i), "core.lsu.addr");
+  }
+
+  // (M)WAIT emulation (§4.2): the data cache clears the mwait timer when
+  // the monitored line changes — a direct microarchitectural->architectural
+  // channel that exists only when the emulation is configured in.
+  if (cfg.vuln.mwait_emulation) {
+    for (unsigned s = 0; s < cfg.dcache_sets; ++s) {
+      for (unsigned w = 0; w < cfg.dcache_ways; ++w) {
+        edge(idx2_name("core.dcache.valid", s, w), "core.csr.mwait_timer");
+        edge(idx2_name("core.dcache.tag", s, w), "core.csr.mwait_timer");
+        edge(idx2_name("core.dcache.data", s, w), "core.csr.mwait_timer");
+      }
+    }
+    edge("core.csr.monitor_addr", "core.csr.mwait_timer");
+    edge("core.csr.mwait_en", "core.csr.mwait_timer");
+  }
+  // Zenbleed emulation (§4.2): zenbleed_en gates the map-table rollback,
+  // so it controls (flows into) every map-table entry.
+  if (cfg.vuln.zenbleed_emulation) {
+    for (unsigned i = 0; i < 32; ++i) {
+      edge("core.csr.zenbleed_en", idx_name("core.rename.maptable", i));
+    }
+  }
+  return f;
+}
+
+ift::Ifg build_ifg(const CoreConfig& cfg) {
+  ift::Ifg g;
+  for (const auto& sig : describe_signals(cfg)) {
+    ift::Role role = ift::Role::kWire;
+    if (sig.cls == SignalClass::kArchitectural) {
+      role = ift::Role::kArchitectural;
+    } else if (sig.cls == SignalClass::kMicroarchitectural) {
+      role = ift::Role::kMicroarchitectural;
+    }
+    g.add_node(sig.name, sig.width, sig.is_register, role);
+  }
+  for (const auto& [src, dst] : describe_flows(cfg)) {
+    g.add_edge(src, dst);
+  }
+  return g;
+}
+
+std::string emit_structural_verilog(const CoreConfig& cfg) {
+  const auto signals = describe_signals(cfg);
+  const auto flows = describe_flows(cfg);
+
+  // Flatten hierarchy with '$', the conventional separator in synthesized
+  // netlists; the arch-register database splits on it when classifying.
+  auto flat = [](std::string name) {
+    for (char& c : name) {
+      if (c == '.') c = '$';
+    }
+    return name;
+  };
+
+  // Group flows by destination.
+  std::map<std::string, std::vector<std::string>> drivers;
+  for (const auto& [src, dst] : flows) drivers[dst].push_back(src);
+
+  std::ostringstream os;
+  os << "// Structural model of MiniBOOM, generated by\n"
+     << "// specure::sim::emit_structural_verilog. One reg/wire per signal;\n"
+     << "// one always block per registered destination; XOR-reduction\n"
+     << "// stands in for the actual next-state function (information flow\n"
+     << "// is what matters for the offline phase, not the logic).\n";
+  os << "module core(input clk);\n";
+  for (const auto& sig : signals) {
+    const unsigned msb = sig.width - 1;
+    if (sig.is_register) {
+      os << "  reg [" << msb << ":0] " << flat(sig.name) << ";\n";
+    } else {
+      os << "  wire [" << msb << ":0] " << flat(sig.name) << ";\n";
+    }
+  }
+  for (const auto& sig : signals) {
+    auto it = drivers.find(sig.name);
+    if (it == drivers.end()) {
+      // Undriven register: emit a self-hold so elaboration still sees a
+      // state element (self-loops carry no flow).
+      if (sig.is_register) {
+        os << "  always @(posedge clk) " << flat(sig.name) << " <= "
+           << flat(sig.name) << ";\n";
+      }
+      continue;
+    }
+    std::string rhs;
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      if (i != 0) rhs += " ^ ";
+      rhs += flat(it->second[i]);
+    }
+    if (sig.is_register) {
+      os << "  always @(posedge clk) " << flat(sig.name) << " <= " << rhs
+         << ";\n";
+    } else {
+      os << "  assign " << flat(sig.name) << " = " << rhs << ";\n";
+    }
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace specure::sim

@@ -1,0 +1,73 @@
+// Structural self-description of MiniBOOM: the canonical list of named
+// signals (with widths and architectural/microarchitectural roles) and the
+// static information-flow edges between them.
+//
+// Three consumers share this single source of truth:
+//   1. Core — registers its SignalDb in exactly this order and fills
+//      per-cycle snapshot values positionally;
+//   2. build_ifg() — the Offline Phase IFG of the PUT (DESIGN.md E1);
+//   3. emit_structural_verilog() — a Verilog rendering of the same
+//      structure, used to exercise the RTL front-end on a processor-sized
+//      input and to round-trip-check parser+elaborator against this model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ift/ifg.hpp"
+#include "sim/config.hpp"
+#include "snapshot/signal_db.hpp"
+
+namespace specure::sim {
+
+enum class SigKind : std::uint8_t {
+  kFetchPc,
+  kRfX,          ///< architectural register view x<i>
+  kCsr,          ///< CSR value, index into riscv::csr::kImplemented
+  kMapTable,     ///< rename map table entry <i>
+  kFreeCount,    ///< rename free-list occupancy
+  kPrf,          ///< physical register p<i>
+  kRobHead, kRobTail, kRobCount,
+  kRobUnsafe,    ///< any unresolved speculative window open
+  kRobSpecPc, kRobSpecInst,  ///< oldest unresolved branch (window opener)
+  kBrupdValid, kBrupdMispredict,
+  kCommitValid, kCommitPc, kCommitInst, kCommitRd,
+  kBpGhist, kBpPht, kBtbTag, kBtbTarget, kRas, kRasTop,
+  kDcValid, kDcTag, kDcData, kDcLru,
+  kTlbValid, kTlbVpn, kTlbPpn,
+  kExecResult,   ///< execute-stage result bus (wire)
+  kLsuAddr,      ///< load/store address bus (wire)
+  kLsuLoadData,  ///< load fill/response bus (wire)
+  kLsuTaintedAccess,  ///< pulse: speculative access with tainted address
+};
+
+struct SigDesc {
+  SigKind kind;
+  unsigned i = 0;  ///< primary index (entry / set)
+  unsigned j = 0;  ///< secondary index (way)
+  std::string name;
+  unsigned width = 64;
+  snapshot::SignalClass cls = snapshot::SignalClass::kMicroarchitectural;
+  bool is_register = true;
+};
+
+/// Canonical signal list for a configuration.
+std::vector<SigDesc> describe_signals(const CoreConfig& cfg);
+
+/// Static flow edges (by signal name) for a configuration. Includes the
+/// (M)WAIT dcache->mwait_timer and zenbleed_en->rename->rf edges when the
+/// corresponding emulations are configured.
+std::vector<std::pair<std::string, std::string>> describe_flows(
+    const CoreConfig& cfg);
+
+/// Offline-phase IFG of MiniBOOM (roles already labeled).
+ift::Ifg build_ifg(const CoreConfig& cfg);
+
+/// Verilog rendering of the structure as one flat module "core" with '.'
+/// replaced by '$' in signal names (parseable by rtl::parse; round-trip
+/// tested against build_ifg()).
+std::string emit_structural_verilog(const CoreConfig& cfg);
+
+}  // namespace specure::sim

@@ -1,0 +1,36 @@
+// Toy TLB: identity translation with a small fully-associative cache of
+// page translations. The translations themselves are trivial (VA == PA),
+// but the *residency* state is genuine microarchitectural residue that
+// speculative accesses leave behind (a TLB side-channel surface; cf.
+// TLBleed). Exposed to snapshots and to the IFG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace specure::sim {
+
+class Tlb {
+ public:
+  explicit Tlb(const CoreConfig& cfg);
+
+  /// Translate a virtual address. Returns true on TLB hit; a miss inserts
+  /// the translation (round-robin replacement). `pa` is always valid.
+  bool translate(std::uint64_t va, std::uint64_t& pa);
+
+  bool valid(unsigned i) const { return valid_[i]; }
+  std::uint64_t vpn(unsigned i) const { return vpn_[i]; }
+  std::uint64_t ppn(unsigned i) const { return ppn_[i]; }
+  unsigned entries() const { return static_cast<unsigned>(vpn_.size()); }
+
+ private:
+  const CoreConfig& cfg_;
+  std::vector<char> valid_;
+  std::vector<std::uint64_t> vpn_;
+  std::vector<std::uint64_t> ppn_;
+  unsigned next_victim_ = 0;
+};
+
+}  // namespace specure::sim

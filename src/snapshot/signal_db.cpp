@@ -1,0 +1,44 @@
+#include "snapshot/signal_db.hpp"
+
+#include <stdexcept>
+
+namespace specure::snapshot {
+
+SignalId SignalDb::add(std::string name, unsigned width, SignalClass cls,
+                       bool is_register) {
+  auto [it, inserted] =
+      index_.emplace(name, static_cast<SignalId>(signals_.size()));
+  if (!inserted) {
+    throw std::runtime_error("SignalDb: duplicate signal " + name);
+  }
+  SignalInfo info;
+  info.name = std::move(name);
+  info.width = width;
+  info.cls = cls;
+  info.is_register = is_register;
+  signals_.push_back(std::move(info));
+  return it->second;
+}
+
+SignalId SignalDb::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidSignal : it->second;
+}
+
+SignalId SignalDb::id_of(const std::string& name) const {
+  const SignalId id = find(name);
+  if (id == kInvalidSignal) {
+    throw std::runtime_error("SignalDb: unknown signal " + name);
+  }
+  return id;
+}
+
+std::vector<SignalId> SignalDb::with_class(SignalClass cls) const {
+  std::vector<SignalId> out;
+  for (SignalId i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].cls == cls) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace specure::snapshot

@@ -1,0 +1,57 @@
+// Signal schema shared by the simulator (producer) and the online-phase
+// analyses (consumers). A SignalDb assigns stable ids to the PUT's named
+// signals; a Snapshot is the vector of signal values at one clock cycle
+// (the paper's "snapshot" in the Microarchitecture Visualizer, §3.2).
+//
+// All signals are at most 64 bits wide; wider structures (cache data
+// arrays, register files) are registered element-wise, which is also how
+// waveform dumps expose them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace specure::snapshot {
+
+using SignalId = std::uint32_t;
+constexpr SignalId kInvalidSignal = ~0u;
+
+/// Classification mirroring ift::Role, kept separate so the snapshot layer
+/// does not depend on the graph layer.
+enum class SignalClass : std::uint8_t {
+  kWire,
+  kMicroarchitectural,
+  kArchitectural,
+};
+
+struct SignalInfo {
+  std::string name;
+  unsigned width = 64;
+  SignalClass cls = SignalClass::kWire;
+  bool is_register = false;
+};
+
+class SignalDb {
+ public:
+  SignalId add(std::string name, unsigned width,
+               SignalClass cls = SignalClass::kWire, bool is_register = false);
+
+  const SignalInfo& info(SignalId id) const { return signals_[id]; }
+  std::size_t size() const { return signals_.size(); }
+  SignalId find(const std::string& name) const;
+  SignalId id_of(const std::string& name) const;  ///< throws if absent
+  bool has(const std::string& name) const { return find(name) != kInvalidSignal; }
+
+  const std::vector<SignalInfo>& signals() const { return signals_; }
+
+  /// Ids of all signals with a given class.
+  std::vector<SignalId> with_class(SignalClass cls) const;
+
+ private:
+  std::vector<SignalInfo> signals_;
+  std::unordered_map<std::string, SignalId> index_;
+};
+
+}  // namespace specure::snapshot

@@ -1,0 +1,100 @@
+#include "snapshot/snapshot.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace specure::snapshot {
+
+std::vector<SignalDelta> diff(const Snapshot& a, const Snapshot& b) {
+  if (a.values.size() != b.values.size()) {
+    throw std::runtime_error("snapshot diff: mismatched schemas");
+  }
+  std::vector<SignalDelta> out;
+  for (SignalId i = 0; i < a.values.size(); ++i) {
+    if (a.values[i] != b.values[i]) {
+      out.push_back({i, a.values[i], b.values[i]});
+    }
+  }
+  return out;
+}
+
+std::uint64_t toggle_count(const Snapshot& a, const Snapshot& b) {
+  if (a.values.size() != b.values.size()) {
+    throw std::runtime_error("snapshot toggle_count: mismatched schemas");
+  }
+  std::uint64_t total = 0;
+  for (SignalId i = 0; i < a.values.size(); ++i) {
+    total += util::toggled_bits(a.values[i], b.values[i]);
+  }
+  return total;
+}
+
+const Snapshot& Trace::at_cycle(std::uint64_t cycle) const {
+  // Snapshots are pushed once per cycle starting at some base; binary
+  // search by the stored cycle stamp.
+  std::size_t lo = 0, hi = snaps_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (snaps_[mid].cycle < cycle) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= snaps_.size() || snaps_[lo].cycle != cycle) {
+    throw std::runtime_error("trace: no snapshot for cycle " +
+                             std::to_string(cycle));
+  }
+  return snaps_[lo];
+}
+
+std::vector<std::uint32_t> Trace::change_counts(std::uint64_t from,
+                                                std::uint64_t to) const {
+  std::vector<std::uint32_t> counts(db_->size(), 0);
+  for (std::size_t i = 1; i < snaps_.size(); ++i) {
+    const std::uint64_t c = snaps_[i].cycle;
+    if (c <= from || c >= to + 1) continue;  // transitions inside (from, to]
+    const auto& prev = snaps_[i - 1].values;
+    const auto& cur = snaps_[i].values;
+    for (SignalId s = 0; s < counts.size(); ++s) {
+      counts[s] += prev[s] != cur[s];
+    }
+  }
+  return counts;
+}
+
+std::vector<bool> Trace::changed_mask(std::uint64_t from,
+                                      std::uint64_t to) const {
+  const auto counts = change_counts(from, to);
+  std::vector<bool> mask(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) mask[i] = counts[i] > 0;
+  return mask;
+}
+
+TraceDeltas::TraceDeltas(const Trace& trace)
+    : trace_(&trace),
+      signal_count_(trace.empty() ? 0 : trace[0].values.size()) {
+  per_cycle_.resize(trace.size());
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const auto& prev = trace[i - 1].values;
+    const auto& cur = trace[i].values;
+    for (SignalId s = 0; s < signal_count_; ++s) {
+      if (prev[s] != cur[s]) per_cycle_[i].push_back(s);
+    }
+  }
+}
+
+std::vector<bool> TraceDeltas::changed_mask(std::uint64_t from,
+                                            std::uint64_t to) const {
+  std::vector<bool> mask(signal_count_, false);
+  const Trace& t = *trace_;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const std::uint64_t c = t[i].cycle;
+    if (c <= from || c > to) continue;
+    for (SignalId s : per_cycle_[i]) mask[s] = true;
+  }
+  return mask;
+}
+
+}  // namespace specure::snapshot

@@ -1,0 +1,82 @@
+// Per-cycle state snapshots, snapshot diffing and whole-run traces.
+// These are the data the Leakage Detector (§3.2) consumes: the diff between
+// the snapshots at the start and end of a misspeculated window yields the
+// potential information-leakage locations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/signal_db.hpp"
+
+namespace specure::snapshot {
+
+/// State of every registered signal at one clock cycle. Values are aligned
+/// with SignalDb ids.
+struct Snapshot {
+  std::uint64_t cycle = 0;
+  std::vector<std::uint64_t> values;
+
+  std::uint64_t operator[](SignalId id) const { return values[id]; }
+};
+
+/// One changed signal between two snapshots.
+struct SignalDelta {
+  SignalId id = kInvalidSignal;
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
+};
+
+/// All signals whose value differs between `a` and `b` (a is "before").
+std::vector<SignalDelta> diff(const Snapshot& a, const Snapshot& b);
+
+/// Number of bit toggles between two snapshots, summed over all signals.
+std::uint64_t toggle_count(const Snapshot& a, const Snapshot& b);
+
+/// A run trace: the snapshot of every simulated cycle, in order.
+class Trace {
+ public:
+  explicit Trace(const SignalDb* db) : db_(db) {}
+
+  void push(Snapshot snap) { snaps_.push_back(std::move(snap)); }
+  std::size_t size() const { return snaps_.size(); }
+  bool empty() const { return snaps_.empty(); }
+  const Snapshot& at_cycle(std::uint64_t cycle) const;
+  const Snapshot& operator[](std::size_t i) const { return snaps_[i]; }
+  const SignalDb& db() const { return *db_; }
+
+  /// Per-signal count of value *changes* (not bit toggles) within the
+  /// half-open cycle interval [from, to). Used by the LP coverage
+  /// calculator, which asks how often PDLC signals toggled inside a
+  /// speculative window.
+  std::vector<std::uint32_t> change_counts(std::uint64_t from,
+                                           std::uint64_t to) const;
+
+  /// Set of signal ids whose value changed at least once in [from, to).
+  std::vector<bool> changed_mask(std::uint64_t from, std::uint64_t to) const;
+
+ private:
+  const SignalDb* db_;
+  std::vector<Snapshot> snaps_;
+};
+
+/// Precomputed per-cycle change lists for a trace. Building costs one
+/// linear pass; afterwards window queries cost only the changes inside the
+/// window, which makes per-window LP-coverage accounting cheap when a run
+/// has many speculative windows.
+class TraceDeltas {
+ public:
+  explicit TraceDeltas(const Trace& trace);
+
+  /// Same semantics as Trace::changed_mask(from, to).
+  std::vector<bool> changed_mask(std::uint64_t from, std::uint64_t to) const;
+
+ private:
+  const Trace* trace_;
+  std::size_t signal_count_;
+  /// per_cycle_[i]: signals whose value changed between trace[i-1] and
+  /// trace[i].
+  std::vector<std::vector<SignalId>> per_cycle_;
+};
+
+}  // namespace specure::snapshot

@@ -1,0 +1,83 @@
+#include "snapshot/vcd.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace specure::snapshot {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, shortest-first.
+std::string vcd_code(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+void write_value(std::ostream& os, std::uint64_t value, unsigned width,
+                 const std::string& code) {
+  if (width == 1) {
+    os << (value & 1) << code << '\n';
+    return;
+  }
+  os << 'b';
+  bool started = false;
+  for (int bit = static_cast<int>(width) - 1; bit >= 0; --bit) {
+    const int v = static_cast<int>((value >> bit) & 1);
+    if (v) started = true;
+    if (started || bit == 0) os << v;
+  }
+  os << ' ' << code << '\n';
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const Trace& trace,
+               const std::string& top_scope) {
+  const SignalDb& db = trace.db();
+  os << "$date today $end\n$version specure $end\n$timescale 1ns $end\n";
+  os << "$scope module " << top_scope << " $end\n";
+
+  std::vector<std::string> codes(db.size());
+  for (SignalId i = 0; i < db.size(); ++i) {
+    codes[i] = vcd_code(i);
+    // Flatten hierarchy into the identifier (scope tracking would need a
+    // tree walk; viewers group on the dots anyway).
+    std::string name = db.info(i).name;
+    for (char& c : name) {
+      if (c == '.') c = '_';
+    }
+    os << "$var wire " << db.info(i).width << ' ' << codes[i] << ' ' << name
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<std::uint64_t> last(db.size());
+  bool first = true;
+  for (std::size_t s = 0; s < trace.size(); ++s) {
+    const Snapshot& snap = trace[s];
+    os << '#' << snap.cycle << '\n';
+    for (SignalId i = 0; i < db.size(); ++i) {
+      if (first || snap.values[i] != last[i]) {
+        write_value(os, snap.values[i], db.info(i).width, codes[i]);
+        last[i] = snap.values[i];
+      }
+    }
+    first = false;
+  }
+}
+
+void write_vcd_file(const std::string& path, const Trace& trace,
+                    const std::string& top_scope) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open VCD output: " + path);
+  write_vcd(out, trace, top_scope);
+}
+
+}  // namespace specure::snapshot

@@ -1,0 +1,21 @@
+// Minimal VCD (Value Change Dump) writer so traces can be inspected in
+// GTKWave — the Microarchitecture Visualizer's "waveforms" output (§3.2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "snapshot/snapshot.hpp"
+
+namespace specure::snapshot {
+
+/// Write a whole trace as VCD. Hierarchical signal names are split on '.'
+/// into VCD scopes.
+void write_vcd(std::ostream& os, const Trace& trace,
+               const std::string& top_scope = "specure");
+
+/// Convenience: write to a file path; throws on I/O failure.
+void write_vcd_file(const std::string& path, const Trace& trace,
+                    const std::string& top_scope = "specure");
+
+}  // namespace specure::snapshot

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace specure::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::fprintf(stderr, "[specure %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace specure::util

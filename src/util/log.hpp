@@ -1,0 +1,47 @@
+// Minimal leveled logger. Components log through LOG_* macros; verbosity is
+// a process-global level so tests/benches can silence the library.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace specure::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set/get the process-global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (used by the macros below).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace specure::util
+
+#define SPECURE_LOG(level)                                      \
+  if (static_cast<int>(level) <                                 \
+      static_cast<int>(::specure::util::log_level())) {         \
+  } else                                                        \
+    ::specure::util::detail::LogStream(level)
+
+#define LOG_DEBUG SPECURE_LOG(::specure::util::LogLevel::kDebug)
+#define LOG_INFO SPECURE_LOG(::specure::util::LogLevel::kInfo)
+#define LOG_WARN SPECURE_LOG(::specure::util::LogLevel::kWarn)
+#define LOG_ERROR SPECURE_LOG(::specure::util::LogLevel::kError)

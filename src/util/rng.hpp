@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for reproducible fuzzing.
+//
+// All stochastic components in Specure (mutators, corpus scheduling, seed
+// generation, workload synthesis) draw from util::Rng so that a campaign is
+// fully reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded via splitmix64, which is both fast and statistically
+// strong enough for fuzzing workloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace specure::util {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG. Deterministic, copyable, cheap to fork.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5ec02e);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability num/den. Requires den > 0.
+  bool chance(std::uint32_t num, std::uint32_t den);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  /// Fork a statistically independent child generator (for subcomponents
+  /// that must not perturb the parent's stream).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace specure::util

@@ -1,0 +1,28 @@
+// Small string helpers used by the RTL front-end and report printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specure::util {
+
+/// Split on a single delimiter character; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Hex formatting helpers for reports (lowercase, no 0x / with 0x).
+std::string hex(std::uint64_t value, unsigned digits = 0);
+std::string hex0x(std::uint64_t value, unsigned digits = 0);
+
+/// Join parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace specure::util

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ift/arch_regs.hpp"
+#include "ift/ifg.hpp"
+#include "ift/pdlc.hpp"
+#include "rtl/parser.hpp"
+
+namespace specure::ift {
+namespace {
+
+// Small synthetic processor-shaped design: a microarchitectural buffer that
+// flows through a wire into an architectural register, plus an isolated
+// microarch register.
+Ifg make_toy_ifg() {
+  Ifg g;
+  const NodeId buf = g.add_node("core.lsu.fill_buffer", 64, true,
+                                Role::kMicroarchitectural);
+  const NodeId wire = g.add_node("core.wb.wdata", 64, false, Role::kWire);
+  const NodeId x5 = g.add_node("core.rf.x5", 64, true, Role::kArchitectural);
+  const NodeId iso = g.add_node("core.bp.ghist", 16, true,
+                                Role::kMicroarchitectural);
+  (void)iso;
+  g.add_edge(buf, wire);
+  g.add_edge(wire, x5);
+  return g;
+}
+
+TEST(Ifg, NodeAndEdgeBasics) {
+  Ifg g = make_toy_ifg();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.node(g.id_of("core.rf.x5")).role, Role::kArchitectural);
+  EXPECT_EQ(g.find("nonexistent"), kInvalidNode);
+  EXPECT_THROW(g.id_of("nonexistent"), std::runtime_error);
+}
+
+TEST(Ifg, DuplicateNodeThrows) {
+  Ifg g;
+  g.add_node("a");
+  EXPECT_THROW(g.add_node("a"), std::runtime_error);
+}
+
+TEST(Ifg, SelfLoopAndDuplicateEdgesDropped) {
+  Ifg g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, a);
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Ifg, EdgeToUnknownNodeThrows) {
+  Ifg g;
+  const NodeId a = g.add_node("a");
+  EXPECT_THROW(g.add_edge(a, 42), std::runtime_error);
+}
+
+TEST(Ifg, SuccessorsAndPredecessors) {
+  Ifg g = make_toy_ifg();
+  const NodeId wire = g.id_of("core.wb.wdata");
+  ASSERT_EQ(g.successors(wire).size(), 1u);
+  ASSERT_EQ(g.predecessors(wire).size(), 1u);
+  EXPECT_EQ(g.node(g.successors(wire)[0]).name, "core.rf.x5");
+  EXPECT_EQ(g.node(g.predecessors(wire)[0]).name, "core.lsu.fill_buffer");
+}
+
+TEST(Ifg, RoleQueries) {
+  Ifg g = make_toy_ifg();
+  EXPECT_EQ(g.nodes_with_role(Role::kArchitectural).size(), 1u);
+  EXPECT_EQ(g.nodes_with_role(Role::kMicroarchitectural).size(), 2u);
+  EXPECT_EQ(g.register_nodes().size(), 3u);
+}
+
+TEST(Ifg, DotOutputContainsNodes) {
+  Ifg g = make_toy_ifg();
+  std::ostringstream os;
+  g.write_dot(os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("core.lsu.fill_buffer"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Ifg, FromElaboratedListing1) {
+  const auto design = rtl::parse(R"(
+    module D_FF(input d, input clk, output q);
+      reg q;
+      always @(posedge clk) q <= d;
+    endmodule
+    module top(input clk, input i, output o);
+      reg q1;
+      D_FF df1 (.d(i), .clk(clk), .q(q1));
+      D_FF df2 (.d(q1), .clk(clk), .q(o));
+    endmodule
+  )");
+  const Ifg g = Ifg::from_elaborated(rtl::elaborate(design, "top"));
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_EQ(g.node(g.id_of("top.df1.q")).role, Role::kMicroarchitectural);
+  EXPECT_TRUE(g.node(g.id_of("top.df1.q")).is_register);
+}
+
+// -------------------------------------------------------------- ArchRegDb --
+
+TEST(ArchRegDb, RiscvContainsIsaState) {
+  const ArchRegDb db = ArchRegDb::riscv();
+  // 32 GPR + 32 FPR + pc + 12 CSRs + 3 MMIO = 80.
+  EXPECT_EQ(db.size(), 80u);
+  EXPECT_TRUE(db.is_architectural("core.rf.x0"));
+  EXPECT_TRUE(db.is_architectural("core.rf.x31"));
+  EXPECT_TRUE(db.is_architectural("core.fp.f15"));
+  EXPECT_TRUE(db.is_architectural("core.frontend.pc"));
+  EXPECT_TRUE(db.is_architectural("core.csr.mstatus"));
+  EXPECT_TRUE(db.is_architectural("core.csr.mwait_timer"));
+  EXPECT_TRUE(db.is_architectural("core.csr.zenbleed_en"));
+  EXPECT_TRUE(db.is_architectural("soc.clint.mtimecmp"));
+}
+
+TEST(ArchRegDb, MicroarchNamesNotMatched) {
+  const ArchRegDb db = ArchRegDb::riscv();
+  EXPECT_FALSE(db.is_architectural("core.rob.unsafe"));
+  EXPECT_FALSE(db.is_architectural("core.lsu.fill_buffer"));
+  EXPECT_FALSE(db.is_architectural("core.bp.btb_tag_3"));
+  EXPECT_FALSE(db.is_architectural("core.rename.maptable"));
+  EXPECT_FALSE(db.is_architectural("core.dcache.valid_0"));
+}
+
+TEST(ArchRegDb, BankIndexSuffixMatching) {
+  ArchRegDb db;
+  db.add({"x", "test", false});
+  EXPECT_TRUE(db.is_architectural("rf.x_17"));
+  EXPECT_FALSE(db.is_architectural("rf.y_17"));
+}
+
+TEST(ArchRegDb, LabelSetsRoles) {
+  Ifg g;
+  g.add_node("core.rf.x1", 64, true, Role::kMicroarchitectural);
+  g.add_node("core.rob.head", 5, true, Role::kMicroarchitectural);
+  const ArchRegDb db = ArchRegDb::riscv();
+  const std::size_t labeled = db.label(g);
+  EXPECT_EQ(labeled, 1u);
+  EXPECT_EQ(g.node(g.id_of("core.rf.x1")).role, Role::kArchitectural);
+  EXPECT_EQ(g.node(g.id_of("core.rob.head")).role,
+            Role::kMicroarchitectural);
+}
+
+TEST(ArchRegDb, CustomEntries) {
+  ArchRegDb db;
+  db.add({"uart_tx", "custom-mmio", true});
+  EXPECT_TRUE(db.is_architectural("soc.uart.uart_tx"));
+  EXPECT_EQ(db.entries()[0].source, "custom-mmio");
+}
+
+// ------------------------------------------------------------------ PDLC --
+
+TEST(Pdlc, ToyChannelFound) {
+  const Ifg g = make_toy_ifg();
+  const PdlcList list = extract_pdlc(g);
+  ASSERT_EQ(list.size(), 1u);
+  const Pdlc& ch = list[0];
+  EXPECT_EQ(g.node(ch.source).name, "core.lsu.fill_buffer");
+  EXPECT_EQ(g.node(ch.sink).name, "core.rf.x5");
+  ASSERT_EQ(ch.path.size(), 3u);
+  EXPECT_EQ(ch.path.front(), ch.source);
+  EXPECT_EQ(ch.path.back(), ch.sink);
+}
+
+TEST(Pdlc, IsolatedRegisterYieldsNoChannel) {
+  const Ifg g = make_toy_ifg();
+  const PdlcList list = extract_pdlc(g);
+  for (const auto& ch : list.channels()) {
+    EXPECT_NE(g.node(ch.source).name, "core.bp.ghist");
+  }
+}
+
+TEST(Pdlc, ForwardAndReverseAgreeOnChannelPairs) {
+  // Build a dense-ish random DAG and compare the channel pair sets.
+  Ifg g;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 40; ++i) {
+    const bool reg = i % 3 == 0;
+    const Role role = (i % 10 == 0) ? Role::kArchitectural
+                      : reg         ? Role::kMicroarchitectural
+                                    : Role::kWire;
+    ids.push_back(g.add_node("n" + std::to_string(i), 8, reg, role));
+  }
+  // Edges only forward in index order => DAG.
+  for (int i = 0; i < 40; ++i) {
+    for (int j = i + 1; j < 40; j += (i % 4) + 2) {
+      g.add_edge(ids[i], ids[j]);
+    }
+  }
+  PdlcOptions fwd;
+  fwd.reverse = false;
+  const PdlcList rlist = extract_pdlc(g);
+  const PdlcList flist = extract_pdlc(g, fwd);
+  std::set<std::pair<NodeId, NodeId>> rpairs, fpairs;
+  for (const auto& ch : rlist.channels()) rpairs.emplace(ch.source, ch.sink);
+  for (const auto& ch : flist.channels()) fpairs.emplace(ch.source, ch.sink);
+  EXPECT_EQ(rpairs, fpairs);
+}
+
+TEST(Pdlc, PathsAreRealIfgPaths) {
+  const Ifg g = make_toy_ifg();
+  const PdlcList list = extract_pdlc(g);
+  for (const auto& ch : list.channels()) {
+    for (std::size_t i = 0; i + 1 < ch.path.size(); ++i) {
+      const auto& succs = g.successors(ch.path[i]);
+      EXPECT_NE(std::find(succs.begin(), succs.end(), ch.path[i + 1]),
+                succs.end())
+          << "broken path edge at " << g.node(ch.path[i]).name;
+    }
+  }
+}
+
+TEST(Pdlc, ChannelsStopAtIntermediateRegisters) {
+  // m1 -> w -> m2(reg) -> x1(arch). m1's flows are laundered through m2, so
+  // the only channel from m1 ends at... nothing: m1 reaches x1 only through
+  // the opaque register m2. Channels: (m2 -> x1) only.
+  Ifg g;
+  const NodeId m1 = g.add_node("m1", 8, true, Role::kMicroarchitectural);
+  const NodeId w = g.add_node("w", 8, false, Role::kWire);
+  const NodeId m2 = g.add_node("m2", 8, true, Role::kMicroarchitectural);
+  const NodeId x1 = g.add_node("rf.x1", 64, true, Role::kArchitectural);
+  g.add_edge(m1, w);
+  g.add_edge(w, m2);
+  g.add_edge(m2, x1);
+  const PdlcList list = extract_pdlc(g);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].source, m2);
+  EXPECT_EQ(list[0].sink, x1);
+}
+
+TEST(Pdlc, MultipleSinksIndexed) {
+  Ifg g;
+  const NodeId m = g.add_node("m", 8, true, Role::kMicroarchitectural);
+  const NodeId a1 = g.add_node("rf.x1", 64, true, Role::kArchitectural);
+  const NodeId a2 = g.add_node("rf.x2", 64, true, Role::kArchitectural);
+  g.add_edge(m, a1);
+  g.add_edge(m, a2);
+  const PdlcList list = extract_pdlc(g);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.by_sink(a1).size(), 1u);
+  EXPECT_EQ(list.by_sink(a2).size(), 1u);
+  EXPECT_EQ(list.by_source(m).size(), 2u);
+  EXPECT_TRUE(list.by_sink(999).empty());
+}
+
+TEST(Pdlc, NonRegisterSourcesOptIn) {
+  Ifg g;
+  // A microarchitectural *wire* (e.g. a forwarding path), not a register.
+  const NodeId m = g.add_node("fwd", 8, false, Role::kMicroarchitectural);
+  const NodeId a = g.add_node("rf.x1", 64, true, Role::kArchitectural);
+  g.add_edge(m, a);
+  EXPECT_EQ(extract_pdlc(g).size(), 0u);
+  PdlcOptions opts;
+  opts.register_sources_only = false;
+  EXPECT_EQ(extract_pdlc(g, opts).size(), 1u);
+}
+
+TEST(Pdlc, CyclicGraphTerminates) {
+  Ifg g;
+  const NodeId m = g.add_node("m", 8, true, Role::kMicroarchitectural);
+  const NodeId w1 = g.add_node("w1", 8, false, Role::kWire);
+  const NodeId w2 = g.add_node("w2", 8, false, Role::kWire);
+  const NodeId a = g.add_node("rf.x1", 64, true, Role::kArchitectural);
+  g.add_edge(m, w1);
+  g.add_edge(w1, w2);
+  g.add_edge(w2, w1);  // combinational loop
+  g.add_edge(w2, a);
+  const PdlcList list = extract_pdlc(g);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].source, m);
+}
+
+TEST(Pdlc, EndToEndFromRtl) {
+  // Pipeline: secret (microarch reg) -> staging wire -> x1 (arch reg).
+  const auto design = rtl::parse(R"(
+    module cpu(input clk, input [63:0] in, output [63:0] out);
+      reg [63:0] spec_buffer;
+      reg [63:0] x1;
+      wire [63:0] fwd;
+      always @(posedge clk) spec_buffer <= in;
+      assign fwd = spec_buffer ^ 64'h1;
+      always @(posedge clk) x1 <= fwd;
+      assign out = x1;
+    endmodule
+  )");
+  Ifg g = Ifg::from_elaborated(rtl::elaborate(design, "cpu"));
+  const ArchRegDb db = ArchRegDb::riscv();
+  EXPECT_EQ(db.label(g), 1u);  // cpu.x1
+  const PdlcList list = extract_pdlc(g);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(g.node(list[0].source).name, "cpu.spec_buffer");
+  EXPECT_EQ(g.node(list[0].sink).name, "cpu.x1");
+}
+
+}  // namespace
+}  // namespace specure::ift

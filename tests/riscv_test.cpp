@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "riscv/decode.hpp"
+#include "riscv/disasm.hpp"
+#include "riscv/encode.hpp"
+#include "riscv/program.hpp"
+#include "util/rng.hpp"
+
+namespace specure::riscv {
+namespace {
+
+TEST(Decode, Addi) {
+  // addi x1, x2, -5
+  const auto d = decode(enc_i(Op::kAddi, 1, 2, -5));
+  EXPECT_EQ(d.op, Op::kAddi);
+  EXPECT_EQ(d.rd, 1);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.imm, -5);
+}
+
+TEST(Decode, KnownWordsFromSpec) {
+  // Hand-checked encodings.
+  EXPECT_EQ(decode(0x00000013).op, Op::kAddi);   // nop = addi x0,x0,0
+  EXPECT_EQ(decode(0x00000073).op, Op::kEcall);
+  EXPECT_EQ(decode(0x00100073).op, Op::kEbreak);
+  EXPECT_EQ(decode(0x0000006f).op, Op::kJal);    // jal x0, 0
+}
+
+TEST(Decode, PaperTable1Instruction) {
+  // Table 1 row 1: FBEC52E3 = BGE S8, T5, -60 (relative); the paper renders
+  // the absolute target 0x800025B0.
+  const auto d = decode(0xFBEC52E3);
+  EXPECT_EQ(d.op, Op::kBge);
+  EXPECT_EQ(d.rs1, 24);  // S8 = x24
+  EXPECT_EQ(d.rs2, 30);  // T5 = x30
+  const std::string text = disassemble(d, 0x800025B0 - static_cast<std::uint64_t>(d.imm));
+  EXPECT_EQ(text, "BGE S8, T5, 0x800025B0");
+}
+
+TEST(Decode, PaperTable1SecondInstruction) {
+  // Table 1 row 2: FB6F42E3 = BLT T5, S6, target.
+  const auto d = decode(0xFB6F42E3);
+  EXPECT_EQ(d.op, Op::kBlt);
+  EXPECT_EQ(d.rs1, 30);  // T5
+  EXPECT_EQ(d.rs2, 22);  // S6
+}
+
+TEST(Decode, IllegalWordsZeroFields) {
+  const auto d = decode(0xffffffff);
+  EXPECT_EQ(d.op, Op::kIllegal);
+  EXPECT_EQ(d.rd, 0);
+  EXPECT_EQ(d.imm, 0);
+  EXPECT_FALSE(d.valid());
+}
+
+TEST(Decode, CsrFields) {
+  const auto d = decode(enc_csr(Op::kCsrrw, 3, 4, csr::kMwaitEn));
+  EXPECT_EQ(d.op, Op::kCsrrw);
+  EXPECT_EQ(d.rd, 3);
+  EXPECT_EQ(d.rs1, 4);
+  EXPECT_EQ(d.csr, csr::kMwaitEn);
+}
+
+TEST(Decode, CsrImmediateUsesZimm) {
+  const auto d = decode(enc_csr(Op::kCsrrwi, 5, 17, csr::kZenbleedEn));
+  EXPECT_EQ(d.op, Op::kCsrrwi);
+  EXPECT_EQ(d.zimm, 17);
+  EXPECT_EQ(d.csr, csr::kZenbleedEn);
+}
+
+// ---- Round-trip property tests over every op/format ----
+
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, EncodeDecodeRoundTrip) {
+  const Op op = static_cast<Op>(GetParam());
+  if (op == Op::kIllegal || op == Op::kCount) return;
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 1);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::uint8_t rd = static_cast<std::uint8_t>(rng.below(32));
+    const std::uint8_t rs1 = static_cast<std::uint8_t>(rng.below(32));
+    const std::uint8_t rs2 = static_cast<std::uint8_t>(rng.below(32));
+    std::int64_t imm = 0;
+    std::uint16_t csr_addr = 0;
+    switch (format_of(op)) {
+      case Format::kI:
+        if (op == Op::kSlli || op == Op::kSrli || op == Op::kSrai) {
+          imm = static_cast<std::int64_t>(rng.below(64));
+        } else if (op == Op::kSlliw || op == Op::kSrliw || op == Op::kSraiw) {
+          imm = static_cast<std::int64_t>(rng.below(32));
+        } else {
+          imm = static_cast<std::int64_t>(rng.below(4096)) - 2048;
+        }
+        break;
+      case Format::kS:
+        imm = static_cast<std::int64_t>(rng.below(4096)) - 2048;
+        break;
+      case Format::kB:
+        imm = (static_cast<std::int64_t>(rng.below(4096)) - 2048) * 2;
+        break;
+      case Format::kU:
+        imm = (static_cast<std::int64_t>(rng.below(1 << 20)) - (1 << 19))
+              << 12;
+        break;
+      case Format::kJ:
+        imm = (static_cast<std::int64_t>(rng.below(1 << 20)) - (1 << 19)) * 2;
+        break;
+      case Format::kCsr:
+      case Format::kCsrImm:
+        csr_addr = csr::kImplemented[rng.below(csr::kImplemented.size())];
+        break;
+      default:
+        break;
+    }
+    const std::uint32_t word = encode(op, rd, rs1, rs2, imm, csr_addr);
+    const DecodedInst d = decode(word);
+    ASSERT_EQ(d.op, op) << "op " << mnemonic(op) << " trial " << trial;
+    switch (format_of(op)) {
+      case Format::kR:
+        EXPECT_EQ(d.rd, rd);
+        EXPECT_EQ(d.rs1, rs1);
+        EXPECT_EQ(d.rs2, rs2);
+        break;
+      case Format::kI:
+        EXPECT_EQ(d.rd, rd);
+        EXPECT_EQ(d.rs1, rs1);
+        EXPECT_EQ(d.imm, imm);
+        break;
+      case Format::kS:
+        EXPECT_EQ(d.rs1, rs1);
+        EXPECT_EQ(d.rs2, rs2);
+        EXPECT_EQ(d.imm, imm);
+        break;
+      case Format::kB:
+        EXPECT_EQ(d.rs1, rs1);
+        EXPECT_EQ(d.rs2, rs2);
+        EXPECT_EQ(d.imm, imm);
+        break;
+      case Format::kU:
+        EXPECT_EQ(d.rd, rd);
+        EXPECT_EQ(d.imm, imm);
+        break;
+      case Format::kJ:
+        EXPECT_EQ(d.rd, rd);
+        EXPECT_EQ(d.imm, imm);
+        break;
+      case Format::kCsr:
+        EXPECT_EQ(d.rd, rd);
+        EXPECT_EQ(d.rs1, rs1);
+        EXPECT_EQ(d.csr, csr_addr);
+        break;
+      case Format::kCsrImm:
+        EXPECT_EQ(d.rd, rd);
+        EXPECT_EQ(d.zimm, rs1);
+        EXPECT_EQ(d.csr, csr_addr);
+        break;
+      case Format::kSys:
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, RoundTripTest,
+                         ::testing::Range(1,
+                                          static_cast<int>(Op::kCount)),
+                         [](const auto& info) {
+                           return std::string(
+                               mnemonic(static_cast<Op>(info.param)));
+                         });
+
+TEST(Disasm, LoadStoreRendering) {
+  EXPECT_EQ(disassemble(enc_i(Op::kLd, 11, 10, 16), 0), "LD A1, 16(A0)");
+  EXPECT_EQ(disassemble(enc_s(Op::kSd, 10, 11, -8), 0), "SD A1, -8(A0)");
+}
+
+TEST(Disasm, CsrRendering) {
+  EXPECT_EQ(disassemble(enc_csr(Op::kCsrrw, 0, 5, csr::kMonitorAddr), 0),
+            "CSRRW ZERO, monitor_addr, T0");
+  EXPECT_EQ(disassemble(enc_csr(Op::kCsrrwi, 0, 1, csr::kMwaitEn), 0),
+            "CSRRWI ZERO, mwait_en, 1");
+}
+
+TEST(Disasm, IllegalRendering) {
+  EXPECT_EQ(disassemble(0xffffffffu, 0), "ILLEGAL");
+}
+
+TEST(Program, ByteRoundTrip) {
+  util::Rng rng(5);
+  for (int i = 0; i < 32; ++i) {
+    const Program p = random_program(rng, 1 + rng.below(64));
+    const Program q = Program::from_bytes(p.to_bytes());
+    EXPECT_EQ(p, q);
+  }
+}
+
+TEST(Program, FromBytesToleratesTruncation) {
+  util::Rng rng(6);
+  const Program p = random_program(rng, 16);
+  auto bytes = p.to_bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(cut));
+    const Program q = Program::from_bytes(prefix);  // Must not crash.
+    EXPECT_LE(q.code.size(), p.code.size());
+  }
+}
+
+TEST(ProgramBuilder, LabelsResolve) {
+  ProgramBuilder b;
+  b.li(5, 100)
+      .label("loop")
+      .addi(5, 5, -1)
+      .branch(Op::kBne, 5, 0, "loop")
+      .nop();
+  const Program p = b.build();
+  // The branch should point back to "loop".
+  const DecodedInst d = decode(p.code[p.code.size() - 2]);
+  EXPECT_EQ(d.op, Op::kBne);
+  EXPECT_EQ(d.imm, -4);
+}
+
+TEST(ProgramBuilder, ForwardLabel) {
+  ProgramBuilder b;
+  b.branch(Op::kBeq, 0, 0, "end").nop().nop().label("end").nop();
+  const Program p = b.build();
+  const DecodedInst d = decode(p.code[0]);
+  EXPECT_EQ(d.imm, 12);
+}
+
+TEST(ProgramBuilder, UndefinedLabelThrows) {
+  ProgramBuilder b;
+  b.jal(0, "nowhere");
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(ProgramBuilder, LiMateralizesValues) {
+  // li followed by a real decode: check LUI/ADDI pair semantics for
+  // representative values, including ones with the sign-extension quirk.
+  for (std::int64_t v : {0LL, 1LL, -1LL, 2047LL, 2048LL, -2048LL, 0x12345000LL,
+                         0x12345FFFLL, static_cast<long long>(kDataBase)}) {
+    ProgramBuilder b;
+    b.li(7, v);
+    const Program p = b.build();
+    // Emulate the LUI/ADDI/SLLI materialization sequence.
+    std::int64_t x7 = 0;
+    for (std::uint32_t w : p.code) {
+      const DecodedInst d = decode(w);
+      if (d.op == Op::kLui) {
+        x7 = d.imm;
+      } else if (d.op == Op::kAddi) {
+        x7 = (d.rs1 == 7 ? x7 : 0) + d.imm;
+      } else if (d.op == Op::kSlli) {
+        x7 <<= d.imm;
+      }
+    }
+    EXPECT_EQ(x7, v) << "li " << v;
+  }
+}
+
+TEST(Program, DataU64Helper) {
+  ProgramBuilder b;
+  b.nop().data_u64(8, 0x1122334455667788ULL);
+  const Program p = b.build();
+  ASSERT_GE(p.data.size(), 16u);
+  EXPECT_EQ(p.data[8], 0x88);
+  EXPECT_EQ(p.data[15], 0x11);
+}
+
+TEST(RandomProgram, InstructionsMostlyValid) {
+  util::Rng rng(99);
+  const Program p = random_program(rng, 200);
+  std::size_t valid = 0;
+  for (std::uint32_t w : p.code) valid += decode(w).valid();
+  // The generator emits only valid encodings.
+  EXPECT_EQ(valid, p.code.size());
+}
+
+TEST(RandomProgram, BranchOffsetsStayInProgram) {
+  util::Rng rng(123);
+  const std::size_t len = 64;
+  const Program p = random_program(rng, len);
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    const DecodedInst d = decode(p.code[i]);
+    if (is_branch(d.op)) {
+      const std::int64_t target =
+          static_cast<std::int64_t>(i) + d.imm / 4;
+      EXPECT_GE(target, 0);
+      EXPECT_LE(target, static_cast<std::int64_t>(len) + 8);
+    }
+  }
+}
+
+TEST(Isa, Classifiers) {
+  EXPECT_TRUE(is_branch(Op::kBge));
+  EXPECT_FALSE(is_branch(Op::kJal));
+  EXPECT_TRUE(is_jump(Op::kJalr));
+  EXPECT_TRUE(is_load(Op::kLwu));
+  EXPECT_FALSE(is_load(Op::kSw));
+  EXPECT_TRUE(is_store(Op::kSb));
+  EXPECT_TRUE(is_csr(Op::kCsrrci));
+  EXPECT_TRUE(is_control_flow(Op::kBeq));
+  EXPECT_FALSE(is_control_flow(Op::kAdd));
+}
+
+TEST(Isa, AccessSizes) {
+  EXPECT_EQ(access_size(Op::kLb), 1u);
+  EXPECT_EQ(access_size(Op::kLhu), 2u);
+  EXPECT_EQ(access_size(Op::kSw), 4u);
+  EXPECT_EQ(access_size(Op::kLd), 8u);
+  EXPECT_EQ(access_size(Op::kAdd), 0u);
+}
+
+TEST(Isa, CsrNames) {
+  EXPECT_EQ(csr::name(csr::kMwaitEn), "mwait_en");
+  EXPECT_EQ(csr::name(csr::kMonitorAddr), "monitor_addr");
+  EXPECT_EQ(csr::name(csr::kMwaitTimer), "mwait_timer");
+  EXPECT_EQ(csr::name(csr::kZenbleedEn), "zenbleed_en");
+  EXPECT_EQ(csr::name(0x7ff), "csr_unknown");
+}
+
+}  // namespace
+}  // namespace specure::riscv

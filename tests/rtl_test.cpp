@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rtl/elaborate.hpp"
+#include "rtl/lexer.hpp"
+#include "rtl/parser.hpp"
+
+namespace specure::rtl {
+namespace {
+
+// The paper's Listing 1: a top module with two D-FFs.
+constexpr const char* kListing1 = R"(
+module D_FF(input d, input clk, output q);
+  reg q;
+  always @(posedge clk)
+    q <= d;
+endmodule
+module top(input clk, input i, output o);
+  reg q1;
+  D_FF df1 (.d(i), .clk(clk), .q(q1));
+  D_FF df2 (.d(q1), .clk(clk), .q(o));
+endmodule
+)";
+
+TEST(Lexer, BasicTokens) {
+  const auto toks = lex("module foo; assign a = b + 4'hF; endmodule");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_TRUE(toks[0].is_kw("module"));
+  EXPECT_EQ(toks[1].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks.back().kind, TokKind::kEof);
+}
+
+TEST(Lexer, BasedLiterals) {
+  auto toks = lex("4'b1010 8'hff 12'd100 'h1F 16'hDEAD");
+  ASSERT_EQ(toks.size(), 6u);  // 5 numbers + EOF
+  EXPECT_EQ(toks[0].value, 10u);
+  EXPECT_EQ(toks[0].width, 4u);
+  EXPECT_EQ(toks[1].value, 0xffu);
+  EXPECT_EQ(toks[1].width, 8u);
+  EXPECT_EQ(toks[2].value, 100u);
+  EXPECT_EQ(toks[3].value, 0x1fu);
+  EXPECT_EQ(toks[4].value, 0xdeadu);
+}
+
+TEST(Lexer, XZBitsTreatedAsZero) {
+  auto toks = lex("4'b1x0z");
+  EXPECT_EQ(toks[0].value, 0b1000u);
+}
+
+TEST(Lexer, UnderscoresInLiterals) {
+  auto toks = lex("32'hdead_beef 1_000");
+  EXPECT_EQ(toks[0].value, 0xdeadbeefu);
+  EXPECT_EQ(toks[1].value, 1000u);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto toks = lex("a // line comment\n b /* block\ncomment */ c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, DirectivesSkipped) {
+  auto toks = lex("`timescale 1ns/1ps\nmodule");
+  EXPECT_TRUE(toks[0].is_kw("module"));
+}
+
+TEST(Lexer, MultiCharPuncts) {
+  auto toks = lex("a <= b == c && d << 2");
+  EXPECT_TRUE(toks[1].is_punct("<="));
+  EXPECT_TRUE(toks[3].is_punct("=="));
+  EXPECT_TRUE(toks[5].is_punct("&&"));
+  EXPECT_TRUE(toks[7].is_punct("<<"));
+}
+
+TEST(Lexer, UnterminatedCommentThrows) {
+  EXPECT_THROW(lex("a /* never closed"), LexError);
+}
+
+TEST(Lexer, PositionsTracked) {
+  auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Parser, Listing1Structure) {
+  const Design d = parse(kListing1);
+  ASSERT_EQ(d.modules.size(), 2u);
+  const Module* dff = d.find("D_FF");
+  ASSERT_NE(dff, nullptr);
+  EXPECT_EQ(dff->port_order.size(), 3u);
+  EXPECT_EQ(dff->always_blocks.size(), 1u);
+  EXPECT_FALSE(dff->always_blocks[0].combinational);
+  const Module* top = d.find("top");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->instances.size(), 2u);
+  EXPECT_EQ(top->instances[0].instance_name, "df1");
+  EXPECT_EQ(top->instances[0].connections.size(), 3u);
+}
+
+TEST(Parser, ClassicPortStyle) {
+  const Design d = parse(R"(
+    module m(a, b, y);
+      input a, b;
+      output y;
+      assign y = a & b;
+    endmodule
+  )");
+  const Module* m = d.find("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->port_order.size(), 3u);
+  EXPECT_EQ(m->nets.size(), 3u);
+  EXPECT_EQ(m->assigns.size(), 1u);
+}
+
+TEST(Parser, VectorsAndParameters) {
+  const Design d = parse(R"(
+    module m #(parameter W = 8) (input [W-1:0] a, output [W-1:0] y);
+      parameter DEPTH = 4;
+      wire [W-1:0] tmp;
+      assign tmp = a + DEPTH;
+      assign y = tmp;
+    endmodule
+  )");
+  const Module* m = d.find("m");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->params.size(), 2u);
+  EXPECT_EQ(m->params[0].name, "W");
+}
+
+TEST(Parser, IfElseCase) {
+  const Design d = parse(R"(
+    module m(input clk, input [1:0] sel, input a, input b, output reg y);
+      always @(posedge clk) begin
+        if (sel == 2'b00) y <= a;
+        else if (sel == 2'b01) y <= b;
+        else begin
+          case (sel)
+            2'b10: y <= a & b;
+            default: y <= 1'b0;
+          endcase
+        end
+      end
+    endmodule
+  )");
+  ASSERT_NE(d.find("m"), nullptr);
+  EXPECT_EQ(d.find("m")->always_blocks.size(), 1u);
+}
+
+TEST(Parser, TernaryAndConcat) {
+  const Design d = parse(R"(
+    module m(input s, input [3:0] a, input [3:0] b, output [7:0] y);
+      assign y = s ? {a, b} : {b, a};
+    endmodule
+  )");
+  const Module* m = d.find("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->assigns[0].rhs->kind, ExprKind::kTernary);
+}
+
+TEST(Parser, BitAndPartSelect) {
+  const Design d = parse(R"(
+    module m(input [7:0] a, output y, output [3:0] z);
+      assign y = a[3];
+      assign z = a[7:4];
+    endmodule
+  )");
+  const Module* m = d.find("m");
+  EXPECT_EQ(m->assigns[0].rhs->kind, ExprKind::kIndex);
+  EXPECT_EQ(m->assigns[1].rhs->kind, ExprKind::kRange);
+}
+
+TEST(Parser, MemoryDeclaration) {
+  const Design d = parse(R"(
+    module m(input clk, input [3:0] addr, input [7:0] wdata, output [7:0] rdata);
+      reg [7:0] mem [0:15];
+      always @(posedge clk) mem[addr] <= wdata;
+      assign rdata = mem[addr];
+    endmodule
+  )");
+  const Module* m = d.find("m");
+  bool found_mem = false;
+  for (const auto& n : m->nets) {
+    if (n.name == "mem") {
+      found_mem = true;
+      EXPECT_NE(n.array_msb, nullptr);
+    }
+  }
+  EXPECT_TRUE(found_mem);
+}
+
+TEST(Parser, PositionalConnections) {
+  const Design d = parse(R"(
+    module inv(input a, output y); assign y = !a; endmodule
+    module top(input i, output o);
+      inv u0 (i, o);
+    endmodule
+  )");
+  const Module* top = d.find("top");
+  ASSERT_EQ(top->instances.size(), 1u);
+  EXPECT_TRUE(top->instances[0].connections[0].port.empty());
+}
+
+TEST(Parser, SyntaxErrorsThrow) {
+  EXPECT_THROW(parse("module m(input a; endmodule"), ParseError);
+  EXPECT_THROW(parse("module m(); wire w endmodule"), ParseError);
+  EXPECT_THROW(parse("garbage"), ParseError);
+  EXPECT_THROW(parse("module m(); always begin x = 1; end endmodule"),
+               ParseError);  // missing sensitivity list
+}
+
+// ------------------------------------------------------- elaboration ----
+
+TEST(Elaborate, Listing1MatchesPaperExactly) {
+  const Design d = parse(kListing1);
+  const ElaboratedDesign e = elaborate(d, "top");
+
+  // Paper: R has 10 signals.
+  const std::set<std::string> expected_signals = {
+      "top.q1",      "top.clk",     "top.i",       "top.o",
+      "top.df1.d",   "top.df1.q",   "top.df1.clk", "top.df2.d",
+      "top.df2.clk", "top.df2.q"};
+  std::set<std::string> actual;
+  for (const auto& s : e.signals()) actual.insert(s.name);
+  EXPECT_EQ(actual, expected_signals);
+
+  // Paper: F has 8 edges (note: clk does NOT flow into q).
+  const std::set<std::pair<std::string, std::string>> expected_flows = {
+      {"top.clk", "top.df1.clk"}, {"top.clk", "top.df2.clk"},
+      {"top.i", "top.df1.d"},     {"top.df1.d", "top.df1.q"},
+      {"top.df1.q", "top.q1"},    {"top.q1", "top.df2.d"},
+      {"top.df2.d", "top.df2.q"}, {"top.df2.q", "top.o"}};
+  std::set<std::pair<std::string, std::string>> flows;
+  for (const auto& [src, dst] : e.flows()) {
+    flows.emplace(e.signals()[src].name, e.signals()[dst].name);
+  }
+  EXPECT_EQ(flows, expected_flows);
+}
+
+TEST(Elaborate, RegistersDetected) {
+  const Design d = parse(kListing1);
+  const ElaboratedDesign e = elaborate(d, "top");
+  EXPECT_TRUE(e.find("top.df1.q")->is_register);
+  EXPECT_TRUE(e.find("top.df2.q")->is_register);
+  EXPECT_FALSE(e.find("top.clk")->is_register);
+  EXPECT_FALSE(e.find("top.i")->is_register);
+}
+
+TEST(Elaborate, TopPortsFlagged) {
+  const Design d = parse(kListing1);
+  const ElaboratedDesign e = elaborate(d, "top");
+  EXPECT_TRUE(e.find("top.i")->is_top_input);
+  EXPECT_TRUE(e.find("top.o")->is_top_output);
+  EXPECT_FALSE(e.find("top.df1.q")->is_top_input);
+}
+
+TEST(Elaborate, WidthsFromParameters) {
+  const Design d = parse(R"(
+    module child #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);
+      assign y = a;
+    endmodule
+    module top(input [15:0] i, output [15:0] o);
+      child #(.W(16)) c (.a(i), .y(o));
+    endmodule
+  )");
+  const ElaboratedDesign e = elaborate(d, "top");
+  EXPECT_EQ(e.find("top.c.a")->width, 16u);
+  EXPECT_EQ(e.find("top.i")->width, 16u);
+}
+
+TEST(Elaborate, ImplicitFlowsFromConditions) {
+  const Design d = parse(R"(
+    module m(input clk, input sel, input a, output reg y);
+      always @(posedge clk) begin
+        if (sel) y <= a;
+      end
+    endmodule
+  )");
+  {
+    const ElaboratedDesign e = elaborate(d, "m");
+    std::set<std::pair<std::string, std::string>> flows;
+    for (const auto& [s, t] : e.flows())
+      flows.emplace(e.signals()[s].name, e.signals()[t].name);
+    EXPECT_TRUE(flows.count({"m.sel", "m.y"}));
+    EXPECT_TRUE(flows.count({"m.a", "m.y"}));
+    EXPECT_FALSE(flows.count({"m.clk", "m.y"}));  // clocks never flow
+  }
+  {
+    ElabOptions opts;
+    opts.implicit_flows = false;
+    const ElaboratedDesign e = elaborate(d, "m", opts);
+    std::set<std::pair<std::string, std::string>> flows;
+    for (const auto& [s, t] : e.flows())
+      flows.emplace(e.signals()[s].name, e.signals()[t].name);
+    EXPECT_FALSE(flows.count({"m.sel", "m.y"}));
+    EXPECT_TRUE(flows.count({"m.a", "m.y"}));
+  }
+}
+
+TEST(Elaborate, MemoryAddressFlowsToData) {
+  const Design d = parse(R"(
+    module m(input clk, input [3:0] addr, input [7:0] wdata, output [7:0] rdata);
+      reg [7:0] mem [0:15];
+      always @(posedge clk) mem[addr] <= wdata;
+      assign rdata = mem[addr];
+    endmodule
+  )");
+  const ElaboratedDesign e = elaborate(d, "m");
+  std::set<std::pair<std::string, std::string>> flows;
+  for (const auto& [s, t] : e.flows())
+    flows.emplace(e.signals()[s].name, e.signals()[t].name);
+  EXPECT_TRUE(flows.count({"m.addr", "m.mem"}));
+  EXPECT_TRUE(flows.count({"m.wdata", "m.mem"}));
+  EXPECT_TRUE(flows.count({"m.mem", "m.rdata"}));
+  EXPECT_TRUE(flows.count({"m.addr", "m.rdata"}));
+}
+
+TEST(Elaborate, CaseLabelsAreImplicitSources) {
+  const Design d = parse(R"(
+    module m(input clk, input [1:0] sel, input a, input b, output reg y);
+      always @(posedge clk)
+        case (sel)
+          2'b00: y <= a;
+          default: y <= b;
+        endcase
+    endmodule
+  )");
+  const ElaboratedDesign e = elaborate(d, "m");
+  std::set<std::pair<std::string, std::string>> flows;
+  for (const auto& [s, t] : e.flows())
+    flows.emplace(e.signals()[s].name, e.signals()[t].name);
+  EXPECT_TRUE(flows.count({"m.sel", "m.y"}));
+}
+
+TEST(Elaborate, DeepHierarchy) {
+  const Design d = parse(R"(
+    module leaf(input a, output y); assign y = ~a; endmodule
+    module mid(input a, output y);
+      wire t;
+      leaf l1 (.a(a), .y(t));
+      leaf l2 (.a(t), .y(y));
+    endmodule
+    module top(input i, output o);
+      mid m1 (.a(i), .y(o));
+    endmodule
+  )");
+  const ElaboratedDesign e = elaborate(d, "top");
+  EXPECT_TRUE(e.has("top.m1.l1.a"));
+  EXPECT_TRUE(e.has("top.m1.l2.y"));
+  EXPECT_TRUE(e.has("top.m1.t"));
+}
+
+TEST(Elaborate, MissingModuleThrows) {
+  const Design d = parse("module top(input i, output o); ghost g(.a(i), .y(o)); endmodule");
+  EXPECT_THROW(elaborate(d, "top"), ElabError);
+  EXPECT_THROW(elaborate(d, "nonexistent"), ElabError);
+}
+
+TEST(Elaborate, UnknownPortThrows) {
+  const Design d = parse(R"(
+    module inv(input a, output y); assign y = !a; endmodule
+    module top(input i, output o);
+      inv u (.bogus(i), .y(o));
+    endmodule
+  )");
+  EXPECT_THROW(elaborate(d, "top"), ElabError);
+}
+
+TEST(Elaborate, DuplicateFlowsDeduplicated) {
+  const Design d = parse(R"(
+    module m(input a, output x, output y);
+      assign x = a + a + a;
+      assign y = a;
+    endmodule
+  )");
+  const ElaboratedDesign e = elaborate(d, "m");
+  int a_to_x = 0;
+  for (const auto& [s, t] : e.flows()) {
+    if (e.signals()[s].name == "m.a" && e.signals()[t].name == "m.x") ++a_to_x;
+  }
+  EXPECT_EQ(a_to_x, 1);
+}
+
+TEST(Elaborate, ConstantsProduceNoFlows) {
+  const Design d = parse(R"(
+    module m(output [7:0] y);
+      assign y = 8'hff;
+    endmodule
+  )");
+  const ElaboratedDesign e = elaborate(d, "m");
+  EXPECT_EQ(e.flow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace specure::rtl

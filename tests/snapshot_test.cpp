@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "snapshot/signal_db.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/vcd.hpp"
+
+namespace specure::snapshot {
+namespace {
+
+SignalDb make_db() {
+  SignalDb db;
+  db.add("core.a", 64, SignalClass::kMicroarchitectural, true);
+  db.add("core.b", 8, SignalClass::kArchitectural, true);
+  db.add("core.c", 1, SignalClass::kWire, false);
+  return db;
+}
+
+Snapshot snap(std::uint64_t cycle, std::vector<std::uint64_t> vals) {
+  Snapshot s;
+  s.cycle = cycle;
+  s.values = std::move(vals);
+  return s;
+}
+
+TEST(SignalDb, AddAndLookup) {
+  const SignalDb db = make_db();
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.id_of("core.b"), 1u);
+  EXPECT_EQ(db.find("missing"), kInvalidSignal);
+  EXPECT_THROW(db.id_of("missing"), std::runtime_error);
+  EXPECT_TRUE(db.has("core.c"));
+  EXPECT_EQ(db.info(0).width, 64u);
+}
+
+TEST(SignalDb, DuplicateThrows) {
+  SignalDb db = make_db();
+  EXPECT_THROW(db.add("core.a", 1), std::runtime_error);
+}
+
+TEST(SignalDb, ClassFilter) {
+  const SignalDb db = make_db();
+  EXPECT_EQ(db.with_class(SignalClass::kArchitectural).size(), 1u);
+  EXPECT_EQ(db.with_class(SignalClass::kMicroarchitectural).size(), 1u);
+  EXPECT_EQ(db.with_class(SignalClass::kWire).size(), 1u);
+}
+
+TEST(Snapshot, DiffFindsChanges) {
+  const auto a = snap(10, {1, 2, 3});
+  const auto b = snap(20, {1, 5, 3});
+  const auto deltas = diff(a, b);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].id, 1u);
+  EXPECT_EQ(deltas[0].before, 2u);
+  EXPECT_EQ(deltas[0].after, 5u);
+}
+
+TEST(Snapshot, DiffIdenticalIsEmpty) {
+  const auto a = snap(1, {7, 7, 7});
+  EXPECT_TRUE(diff(a, a).empty());
+}
+
+TEST(Snapshot, DiffMismatchedSchemaThrows) {
+  EXPECT_THROW(diff(snap(1, {1}), snap(2, {1, 2})), std::runtime_error);
+}
+
+TEST(Snapshot, ToggleCount) {
+  const auto a = snap(1, {0b0000, 0xff});
+  const auto b = snap(2, {0b1010, 0xff});
+  EXPECT_EQ(toggle_count(a, b), 2u);
+}
+
+TEST(Trace, AtCycleBinarySearch) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  for (std::uint64_t c = 1; c <= 50; ++c) t.push(snap(c, {c, c, c}));
+  EXPECT_EQ(t.at_cycle(1).values[0], 1u);
+  EXPECT_EQ(t.at_cycle(37).values[0], 37u);
+  EXPECT_EQ(t.at_cycle(50).values[0], 50u);
+  EXPECT_THROW(t.at_cycle(51), std::runtime_error);
+  EXPECT_THROW(t.at_cycle(0), std::runtime_error);
+}
+
+TEST(Trace, ChangeCountsWindow) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  // Signal 0 changes at cycles 2,3,4,5; signal 1 changes at cycle 4 only.
+  t.push(snap(1, {0, 0, 0}));
+  t.push(snap(2, {1, 0, 0}));
+  t.push(snap(3, {2, 0, 0}));
+  t.push(snap(4, {3, 9, 0}));
+  t.push(snap(5, {4, 9, 0}));
+  const auto counts = t.change_counts(2, 4);  // transitions at cycles 3..4
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(Trace, ChangedMask) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  t.push(snap(1, {0, 0, 0}));
+  t.push(snap(2, {1, 0, 0}));
+  t.push(snap(3, {1, 0, 1}));
+  const auto mask = t.changed_mask(1, 3);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+}
+
+TEST(Trace, EmptyWindowNoChanges) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  t.push(snap(1, {0, 0, 0}));
+  t.push(snap(2, {5, 5, 5}));
+  const auto counts = t.change_counts(5, 9);
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(Vcd, ContainsHeaderAndChanges) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  t.push(snap(1, {0xab, 1, 0}));
+  t.push(snap(2, {0xab, 2, 1}));
+  std::ostringstream os;
+  write_vcd(os, t, "tb");
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$scope module tb $end"), std::string::npos);
+  EXPECT_NE(vcd.find("core_a"), std::string::npos);
+  EXPECT_NE(vcd.find("#1"), std::string::npos);
+  EXPECT_NE(vcd.find("#2"), std::string::npos);
+  // Unchanged signal 0 must appear once (initial dump) only.
+  const std::string code0 = "!";  // first signal gets code index 0 -> '!'
+  std::size_t occurrences = 0;
+  for (std::size_t pos = 0; (pos = vcd.find(" " + code0 + "\n", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+}
+
+TEST(Vcd, SingleBitFormat) {
+  SignalDb db;
+  db.add("bit", 1);
+  Trace t(&db);
+  t.push(snap(1, {1}));
+  std::ostringstream os;
+  write_vcd(os, t);
+  EXPECT_NE(os.str().find("1!"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace specure::snapshot

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace specure::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // All four values should appear.
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // Child stream should not equal the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Bits, Mask) {
+  EXPECT_EQ(mask(0), 0u);
+  EXPECT_EQ(mask(1), 1u);
+  EXPECT_EQ(mask(12), 0xfffu);
+  EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(Bits, Extract) {
+  EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+  EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+  EXPECT_EQ(bit(0x8, 3), 1u);
+  EXPECT_EQ(bit(0x8, 2), 0u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sext(0xfff, 12), -1);
+  EXPECT_EQ(sext(0x7ff, 12), 0x7ff);
+  EXPECT_EQ(sext(0x800, 12), -2048);
+  EXPECT_EQ(sext(0xffffffff, 32), -1);
+  EXPECT_EQ(sext(5, 64), 5);
+}
+
+TEST(Bits, ToggledBits) {
+  EXPECT_EQ(toggled_bits(0, 0), 0u);
+  EXPECT_EQ(toggled_bits(0, 0xff), 8u);
+  EXPECT_EQ(toggled_bits(0b1010, 0b0101), 4u);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("top.df1.q", "top."));
+  EXPECT_FALSE(starts_with("top", "top."));
+  EXPECT_TRUE(ends_with("rob_unsafe", "unsafe"));
+  EXPECT_FALSE(ends_with("q", "df1.q"));
+}
+
+TEST(Strings, Hex) {
+  EXPECT_EQ(hex(0xdeadbeef), "deadbeef");
+  EXPECT_EQ(hex(0, 4), "0000");
+  EXPECT_EQ(hex0x(255), "0xff");
+  EXPECT_EQ(hex(0x1, 8), "00000001");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"x"}, "."), "x");
+}
+
+}  // namespace
+}  // namespace specure::util

@@ -1,0 +1,207 @@
+// specure — command-line driver for the library.
+//
+// Subcommands:
+//   specure offline [--mwait] [--zenbleed] [--dot FILE] [--verilog FILE]
+//       Run the offline phase on MiniBOOM; print IFG/PDLC statistics,
+//       optionally dump the IFG as Graphviz and the structural Verilog.
+//   specure fuzz [--iters N] [--seed S] [--mwait] [--zenbleed]
+//                [--monitor-cache] [--feedback lp|codecov]
+//                [--json FILE] [--no-special-seeds]
+//       Run a fuzzing campaign and print the text report (JSON optional).
+//   specure audit FILE.v --top MODULE [--dot FILE]
+//       Offline phase over external Verilog: list every PDLC.
+//   specure disasm HEXWORD [PC]
+//       Decode one instruction word (e.g. specure disasm FBEC52E3).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/offline.hpp"
+#include "core/report.hpp"
+#include "core/specure.hpp"
+#include "riscv/disasm.hpp"
+#include "sim/structure.hpp"
+
+namespace {
+
+using namespace specure;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  bool has(const std::string& flag) const {
+    for (const auto& [k, v] : options) {
+      if (k == flag) return true;
+    }
+    return false;
+  }
+  std::string get(const std::string& flag, const std::string& fallback = "") const {
+    for (const auto& [k, v] : options) {
+      if (k == flag) return v;
+    }
+    return fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      // Flags taking a value consume the next token when present and not
+      // itself a flag.
+      std::string value;
+      static const char* kValueFlags[] = {"--dot",  "--verilog", "--iters",
+                                          "--seed", "--json",    "--top",
+                                          "--feedback"};
+      bool takes_value = false;
+      for (const char* f : kValueFlags) takes_value |= a == f;
+      if (takes_value && i + 1 < argc) value = argv[++i];
+      args.options.emplace_back(a, value);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+sim::CoreConfig config_from(const Args& args) {
+  sim::CoreConfig cfg;
+  cfg.vuln.mwait_emulation = args.has("--mwait");
+  cfg.vuln.zenbleed_emulation = args.has("--zenbleed");
+  return cfg;
+}
+
+int cmd_offline(const Args& args) {
+  const sim::CoreConfig cfg = config_from(args);
+  const core::OfflineResult off = core::run_offline_phase(cfg);
+  std::printf("IFG: %zu signals, %zu flow edges (%.4fs)\n",
+              off.ifg.node_count(), off.ifg.edge_count(), off.ifg_seconds);
+  std::printf("PDLC: %zu channels (%.4fs)\n", off.pdlc.size(),
+              off.pdlc_seconds);
+  if (args.has("--dot")) {
+    std::ofstream dot(args.get("--dot"));
+    if (!dot) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("--dot").c_str());
+      return 1;
+    }
+    off.ifg.write_dot(dot);
+    std::printf("IFG written to %s\n", args.get("--dot").c_str());
+  }
+  if (args.has("--verilog")) {
+    std::ofstream v(args.get("--verilog"));
+    if (!v) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("--verilog").c_str());
+      return 1;
+    }
+    v << sim::emit_structural_verilog(cfg);
+    std::printf("structural Verilog written to %s\n",
+                args.get("--verilog").c_str());
+  }
+  return 0;
+}
+
+int cmd_fuzz(const Args& args) {
+  core::EngineOptions opts;
+  opts.core = config_from(args);
+  opts.detector.monitor_cache = args.has("--monitor-cache");
+  opts.rng_seed = std::strtoull(args.get("--seed", "1").c_str(), nullptr, 10);
+  opts.fuzzer.use_special_seeds = !args.has("--no-special-seeds");
+  if (args.get("--feedback", "lp") == "codecov") {
+    opts.feedback = core::FeedbackMode::kCodeCoverage;
+  }
+  const std::uint64_t iters =
+      std::strtoull(args.get("--iters", "1000").c_str(), nullptr, 10);
+
+  core::SpecureEngine engine(opts);
+  const core::CampaignResult result = engine.run(iters);
+  core::write_text_report(std::cout, result);
+  if (args.has("--json")) {
+    std::ofstream json(args.get("--json"));
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("--json").c_str());
+      return 1;
+    }
+    core::write_json_report(json, result);
+    std::printf("\nJSON report written to %s\n", args.get("--json").c_str());
+  }
+  return result.vulns.empty() ? 0 : 2;  // non-zero exit on findings (CI)
+}
+
+int cmd_audit(const Args& args) {
+  if (args.positional.empty() || !args.has("--top")) {
+    std::fprintf(stderr, "usage: specure audit FILE.v --top MODULE\n");
+    return 1;
+  }
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.positional[0].c_str());
+    return 1;
+  }
+  std::string source((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  const core::OfflineResult off = core::run_offline_phase_rtl(
+      source, args.get("--top"), ift::ArchRegDb::riscv());
+  std::printf("IFG: %zu signals, %zu flow edges\n", off.ifg.node_count(),
+              off.ifg.edge_count());
+  std::printf("PDLC channels (%zu):\n", off.pdlc.size());
+  for (const auto& ch : off.pdlc.channels()) {
+    std::printf("  %s", off.ifg.node(ch.source).name.c_str());
+    for (std::size_t i = 1; i < ch.path.size(); ++i) {
+      std::printf(" -> %s", off.ifg.node(ch.path[i]).name.c_str());
+    }
+    std::printf("\n");
+  }
+  if (args.has("--dot")) {
+    std::ofstream dot(args.get("--dot"));
+    off.ifg.write_dot(dot);
+  }
+  return 0;
+}
+
+int cmd_disasm(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: specure disasm HEXWORD [PC]\n");
+    return 1;
+  }
+  const std::uint32_t word = static_cast<std::uint32_t>(
+      std::strtoull(args.positional[0].c_str(), nullptr, 16));
+  const std::uint64_t pc =
+      args.positional.size() > 1
+          ? std::strtoull(args.positional[1].c_str(), nullptr, 16)
+          : riscv::kCodeBase;
+  std::printf("%08x: %s\n", word, riscv::disassemble(word, pc).c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "specure <offline|fuzz|audit|disasm> [options]\n"
+               "  offline [--mwait] [--zenbleed] [--dot F] [--verilog F]\n"
+               "  fuzz [--iters N] [--seed S] [--mwait] [--zenbleed]\n"
+               "       [--monitor-cache] [--feedback lp|codecov]\n"
+               "       [--json F] [--no-special-seeds]\n"
+               "  audit FILE.v --top MODULE [--dot F]\n"
+               "  disasm HEXWORD [PC]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  if (cmd == "offline") return cmd_offline(args);
+  if (cmd == "fuzz") return cmd_fuzz(args);
+  if (cmd == "audit") return cmd_audit(args);
+  if (cmd == "disasm") return cmd_disasm(args);
+  usage();
+  return 1;
+}
