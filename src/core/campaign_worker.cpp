@@ -1,0 +1,31 @@
+#include "core/campaign_worker.hpp"
+
+#include "snapshot/snapshot.hpp"
+
+namespace specure::core {
+
+CampaignWorker::CampaignWorker(const sim::CoreConfig& core,
+                               const OfflineResult& offline,
+                               LpPolicy lp_policy,
+                               const DetectorOptions& detector)
+    : sim_(core),
+      lp_probe_(offline.ifg, offline.pdlc, sim_.signal_db(), lp_policy),
+      detector_(offline.ifg, offline.pdlc, sim_.signal_db(), detector) {}
+
+WorkerResult CampaignWorker::process(
+    const fuzz::FuzzJob& job,
+    const std::vector<bool>* lp_already_covered) const {
+  sim::RunResult run = sim_.run(job.program);
+  const snapshot::TraceDeltas deltas(run.trace);
+
+  WorkerResult out;
+  out.iteration = job.iteration;
+  out.windows = extract_mst(run.trace);
+  out.lp_hits = lp_probe_.probe(deltas, out.windows, lp_already_covered);
+  out.reports = detector_.analyze(run, out.windows);
+  out.coverage = std::move(run.coverage);
+  out.cycles = run.cycles;
+  return out;
+}
+
+}  // namespace specure::core

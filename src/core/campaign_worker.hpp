@@ -1,0 +1,65 @@
+// Campaign simulation worker — the parallel middle of the Online Phase
+// pipeline (scheduler → simulation workers → result merger).
+//
+// Each worker owns a private sim::Simulator (schema-identical across
+// workers: all derive from the same CoreConfig, so snapshot signal ids
+// agree) and performs the entire per-iteration heavy lifting off-thread:
+// simulate the program on a cold core, extract the misspeculation table,
+// build the per-cycle trace deltas, probe LP coverage, and run the
+// vulnerability detector. The output is a compact WorkerResult — the
+// multi-megabyte snapshot trace is dropped before the result travels to
+// the merger, so a deep batch stays cheap to buffer.
+//
+// process() is const and touches only worker-owned or read-only shared
+// state (the OfflineResult's IFG/PDLC), so any number of workers may run
+// concurrently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coverage_calc.hpp"
+#include "core/mst.hpp"
+#include "core/offline.hpp"
+#include "core/vuln_detect.hpp"
+#include "fuzz/corpus.hpp"
+#include "sim/core.hpp"
+
+namespace specure::core {
+
+/// Everything the merger needs from one simulated iteration, in a form
+/// that is independent of merge order and campaign state.
+struct WorkerResult {
+  std::uint64_t iteration = 0;
+  std::vector<SpecWindow> windows;
+  /// LP channels exercised by this run (LpCoverageMap::probe output).
+  std::vector<std::size_t> lp_hits;
+  sim::CoverageRecorder coverage;
+  /// Candidate findings; deduplication happens in the merger.
+  std::vector<VulnReport> reports;
+  std::uint64_t cycles = 0;
+};
+
+class CampaignWorker {
+ public:
+  CampaignWorker(const sim::CoreConfig& core, const OfflineResult& offline,
+                 LpPolicy lp_policy, const DetectorOptions& detector);
+
+  /// Simulate and analyze one job. Thread-safe with respect to other
+  /// workers' process() calls. `lp_already_covered`, when given, is the
+  /// merger map's covered_mask() frozen for the duration of the batch;
+  /// channels covered there are not re-probed, so worker cost falls as
+  /// campaign coverage saturates (matching the serial engine's update()).
+  WorkerResult process(const fuzz::FuzzJob& job,
+                       const std::vector<bool>* lp_already_covered =
+                           nullptr) const;
+
+  const sim::Simulator& simulator() const { return sim_; }
+
+ private:
+  sim::Simulator sim_;
+  LpCoverageMap lp_probe_;  ///< used const-only (probe), never committed
+  VulnerabilityDetector detector_;
+};
+
+}  // namespace specure::core

@@ -67,4 +67,43 @@ std::size_t LpCoverageMap::update(const snapshot::TraceDeltas& deltas,
                      covered_count_);
 }
 
+std::vector<std::size_t> LpCoverageMap::probe(
+    const snapshot::TraceDeltas& deltas,
+    const std::vector<SpecWindow>& windows,
+    const std::vector<bool>* already_covered) const {
+  std::vector<bool> hit(channel_signals_.size(), false);
+  for (const auto& w : windows) {
+    const auto changed = deltas.changed_mask(w.start_cycle, w.end_cycle);
+    for (std::size_t c = 0; c < channel_signals_.size(); ++c) {
+      if (hit[c] || channel_signals_[c].empty()) continue;
+      if (already_covered && (*already_covered)[c]) continue;
+      bool all = true;
+      for (const auto sid : channel_signals_[c]) {
+        if (!changed[sid]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) hit[c] = true;
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < hit.size(); ++c) {
+    if (hit[c]) out.push_back(c);
+  }
+  return out;
+}
+
+std::size_t LpCoverageMap::commit(const std::vector<std::size_t>& channels) {
+  std::size_t fresh = 0;
+  for (const std::size_t c : channels) {
+    if (!covered_[c]) {
+      covered_[c] = true;
+      ++covered_count_;
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
 }  // namespace specure::core

@@ -33,7 +33,24 @@ class LpCoverageMap {
   std::size_t update(const snapshot::TraceDeltas& deltas,
                      const std::vector<SpecWindow>& windows);
 
+  /// Thread-safe half of update(): the channels this run exercised
+  /// (all path signals toggled inside one speculative window). Workers
+  /// call probe() concurrently on their own run data; the single-threaded
+  /// merger then applies the hits with commit(). probe()+commit() is
+  /// equivalent to update() on one map. `already_covered`, when given, is
+  /// a stable snapshot of another map's covered_mask(): channels set there
+  /// are skipped, which restores update()'s cheap saturated-coverage path
+  /// without sharing mutable state across threads.
+  std::vector<std::size_t> probe(
+      const snapshot::TraceDeltas& deltas,
+      const std::vector<SpecWindow>& windows,
+      const std::vector<bool>* already_covered = nullptr) const;
+
+  /// Mark probed channels covered; returns the number newly covered.
+  std::size_t commit(const std::vector<std::size_t>& channels);
+
   std::size_t covered() const { return covered_count_; }
+  const std::vector<bool>& covered_mask() const { return covered_; }
   std::size_t total() const { return covered_.size(); }
   bool is_covered(std::size_t channel) const { return covered_[channel]; }
 

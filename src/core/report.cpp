@@ -36,6 +36,11 @@ void write_text_report(std::ostream& os, const CampaignResult& result) {
      << "=======================\n"
      << "iterations:            " << result.history.size() << "\n"
      << "wall-clock seconds:    " << result.seconds << "\n"
+     << "iterations/sec:        "
+     << (result.seconds > 0
+             ? static_cast<double>(result.history.size()) / result.seconds
+             : 0.0)
+     << "\n"
      << "speculative windows:   " << result.total_windows << " ("
      << result.mispredicted_windows << " misspeculated)\n"
      << "PDLC channels:         " << result.pdlc_total << "\n";

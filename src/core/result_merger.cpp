@@ -1,0 +1,65 @@
+#include "core/result_merger.hpp"
+
+namespace specure::core {
+
+std::string finding_key(const VulnReport& report) {
+  std::string key =
+      std::string(vuln_kind_name(report.kind)) + ":" + report.sink_signal;
+  if (report.kind == VulnKind::kCacheResidue) {
+    // Conditional-branch (v1-class) and indirect-jump (v2-class) windows
+    // are distinct vulnerabilities even when the residue lands in the
+    // same structure.
+    key += report.window.has_indirect_opener() ? ":indirect" : ":conditional";
+  }
+  return key;
+}
+
+ResultMerger::ResultMerger(const OfflineResult& offline,
+                           const snapshot::SignalDb& db,
+                           FeedbackMode feedback, LpPolicy lp_policy,
+                           std::size_t mst_sample_rows)
+    : feedback_(feedback),
+      mst_sample_rows_(mst_sample_rows),
+      lp_(offline.ifg, offline.pdlc, db, lp_policy) {
+  result_.pdlc_total = offline.pdlc.size();
+}
+
+bool ResultMerger::merge(WorkerResult result) {
+  result_.total_windows += result.windows.size();
+  for (const auto& w : result.windows) {
+    result_.mispredicted_windows += w.mispredicted;
+    if (result_.mst_sample.size() < mst_sample_rows_ && w.mispredicted) {
+      result_.mst_sample.push_back(w);
+    }
+  }
+
+  const std::size_t lp_new = lp_.commit(result.lp_hits);
+  const std::size_t cov_new = code_cov_.merge(result.coverage);
+
+  // Vulnerability detection counts regardless of the guidance mode.
+  bool new_finding = false;
+  for (auto& report : result.reports) {
+    const std::string key = finding_key(report);
+    if (result_.first_detection.emplace(key, result.iteration).second) {
+      result_.vulns.push_back(std::move(report));
+      new_finding = true;
+    }
+  }
+
+  IterationRecord rec;
+  rec.iteration = result.iteration;
+  rec.covered_pdlc = lp_.covered();
+  rec.coverage_points = code_cov_.point_count();
+  rec.vulns_found = result_.vulns.size();
+  rec.cycles = result.cycles;
+  result_.history.push_back(rec);
+
+  // Feedback: the configured coverage metric guides corpus growth; a
+  // vulnerability always counts as interesting (Figure 1's
+  // "Vulnerability Feedback" arrow).
+  return new_finding || (feedback_ == FeedbackMode::kLeakagePath
+                             ? lp_new > 0
+                             : cov_new > 0);
+}
+
+}  // namespace specure::core

@@ -1,0 +1,90 @@
+// Result merger — the single-threaded tail of the Online Phase pipeline
+// (scheduler → simulation workers → result merger).
+//
+// The merger consumes WorkerResults strictly in iteration order and owns
+// every piece of cross-iteration campaign state: the authoritative LP
+// coverage map, the merged code-coverage point set, vulnerability
+// deduplication by finding_key, the MST sample, and the per-iteration
+// history. Because workers hand over order-independent facts and the
+// merger applies them in a fixed order, a campaign's CampaignResult is
+// bit-identical regardless of how many worker threads produced the
+// results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/campaign_worker.hpp"
+#include "core/coverage_calc.hpp"
+#include "core/mst.hpp"
+#include "core/offline.hpp"
+#include "core/vuln_detect.hpp"
+#include "sim/coverage.hpp"
+
+namespace specure::core {
+
+enum class FeedbackMode : std::uint8_t {
+  kLeakagePath,   ///< Specure's LP coverage (novel metric)
+  kCodeCoverage,  ///< traditional coverage, the baseline in Fig. 2
+};
+
+struct IterationRecord {
+  std::uint64_t iteration = 0;
+  std::size_t covered_pdlc = 0;     ///< cumulative LP coverage
+  std::size_t coverage_points = 0;  ///< cumulative code-coverage points
+  std::size_t vulns_found = 0;      ///< cumulative distinct findings
+  std::uint64_t cycles = 0;         ///< simulated cycles this iteration
+};
+
+struct CampaignResult {
+  std::vector<IterationRecord> history;
+  std::vector<VulnReport> vulns;  ///< distinct findings (by kind+sink)
+  /// First-detection iteration per finding key ("direct-leak:core.rf.x7").
+  std::map<std::string, std::uint64_t> first_detection;
+  std::vector<SpecWindow> mst_sample;
+  std::size_t total_windows = 0;
+  std::size_t mispredicted_windows = 0;
+  std::size_t pdlc_total = 0;
+  double seconds = 0;
+};
+
+/// Key used for deduplicating findings across iterations.
+std::string finding_key(const VulnReport& report);
+
+class ResultMerger {
+ public:
+  ResultMerger(const OfflineResult& offline, const snapshot::SignalDb& db,
+               FeedbackMode feedback, LpPolicy lp_policy,
+               std::size_t mst_sample_rows);
+
+  /// Apply one iteration's results. Must be called in iteration order.
+  /// Returns true when the input was interesting (new coverage under the
+  /// configured feedback metric, or a new finding) and should be fed back
+  /// to the corpus.
+  bool merge(WorkerResult result);
+
+  /// The campaign state accumulated so far (live view, e.g. for stop
+  /// predicates and progress reporting).
+  const CampaignResult& result() const { return result_; }
+
+  /// The authoritative LP covered bitmap. Stable while workers run (the
+  /// merger only mutates between batches); handed to CampaignWorker so
+  /// probes skip channels the campaign already covered.
+  const std::vector<bool>& lp_covered_mask() const {
+    return lp_.covered_mask();
+  }
+
+  /// Move the finished result out; the merger is spent afterwards.
+  CampaignResult take_result() { return std::move(result_); }
+
+ private:
+  FeedbackMode feedback_;
+  std::size_t mst_sample_rows_;
+  LpCoverageMap lp_;
+  sim::CoverageRecorder code_cov_;
+  CampaignResult result_;
+};
+
+}  // namespace specure::core

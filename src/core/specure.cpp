@@ -1,87 +1,80 @@
 #include "core/specure.hpp"
 
 #include <chrono>
+#include <memory>
+#include <thread>
 
 namespace specure::core {
-
-std::string finding_key(const VulnReport& report) {
-  std::string key =
-      std::string(vuln_kind_name(report.kind)) + ":" + report.sink_signal;
-  if (report.kind == VulnKind::kCacheResidue) {
-    // Conditional-branch (v1-class) and indirect-jump (v2-class) windows
-    // are distinct vulnerabilities even when the residue lands in the
-    // same structure.
-    key += report.window.has_indirect_opener() ? ":indirect" : ":conditional";
-  }
-  return key;
-}
 
 SpecureEngine::SpecureEngine(const EngineOptions& options)
     : options_(options),
       offline_(run_offline_phase(options.core, options.pdlc)),
       sim_(options.core) {}
 
+std::size_t SpecureEngine::resolved_jobs() const {
+  std::size_t jobs = options_.jobs;
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  // More workers than in-flight jobs per batch would sit idle.
+  const std::size_t batch = options_.batch_size == 0 ? 1 : options_.batch_size;
+  return jobs < batch ? jobs : batch;
+}
+
 CampaignResult SpecureEngine::run(
     std::uint64_t iterations,
     const std::function<bool(const CampaignResult&)>& stop) {
   const auto t0 = std::chrono::steady_clock::now();
-  CampaignResult result;
-  result.pdlc_total = offline_.pdlc.size();
+  const std::size_t jobs = resolved_jobs();
+  const std::size_t batch_size =
+      options_.batch_size == 0 ? 1 : options_.batch_size;
 
-  fuzz::Fuzzer fuzzer(options_.fuzzer, options_.rng_seed);
-  LpCoverageMap lp(offline_.ifg, offline_.pdlc, sim_.signal_db(),
-                   options_.lp_policy);
-  VulnerabilityDetector detector(offline_.ifg, offline_.pdlc,
-                                 sim_.signal_db(), options_.detector);
-  sim::CoverageRecorder code_cov;
+  CampaignScheduler scheduler(options_.fuzzer, options_.rng_seed, iterations);
+  ResultMerger merger(offline_, sim_.signal_db(), options_.feedback,
+                      options_.lp_policy, options_.mst_sample_rows);
 
-  for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
-    const riscv::Program program = fuzzer.next();
-    const sim::RunResult run = sim_.run(program);
-    const std::vector<SpecWindow> windows = extract_mst(run.trace);
-    const snapshot::TraceDeltas deltas(run.trace);
-
-    result.total_windows += windows.size();
-    for (const auto& w : windows) {
-      result.mispredicted_windows += w.mispredicted;
-      if (result.mst_sample.size() < options_.mst_sample_rows &&
-          w.mispredicted) {
-        result.mst_sample.push_back(w);
-      }
+  // One simulator per worker, built on the first run() and reused across
+  // campaigns; unique_ptr keeps the simulators (and the internal
+  // references the LP prober and detector hold into them) at stable
+  // addresses.
+  if (workers_.empty()) {
+    workers_.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers_.push_back(std::make_unique<CampaignWorker>(
+          options_.core, offline_, options_.lp_policy, options_.detector));
     }
-
-    const std::size_t lp_new = lp.update(deltas, windows);
-    const std::size_t cov_new = code_cov.merge(run.coverage);
-
-    // Vulnerability detection runs regardless of the guidance mode.
-    bool new_finding = false;
-    for (auto& report : detector.analyze(run, windows)) {
-      const std::string key = finding_key(report);
-      if (result.first_detection.emplace(key, iter).second) {
-        result.vulns.push_back(std::move(report));
-        new_finding = true;
-      }
-    }
-
-    // Feedback: the configured coverage metric guides corpus growth; a
-    // vulnerability always counts as interesting (Figure 1's
-    // "Vulnerability Feedback" arrow).
-    const bool interesting =
-        new_finding || (options_.feedback == FeedbackMode::kLeakagePath
-                            ? lp_new > 0
-                            : cov_new > 0);
-    if (interesting) fuzzer.report_interesting(program);
-
-    IterationRecord rec;
-    rec.iteration = iter;
-    rec.covered_pdlc = lp.covered();
-    rec.coverage_points = code_cov.point_count();
-    rec.vulns_found = result.vulns.size();
-    rec.cycles = run.cycles;
-    result.history.push_back(rec);
-
-    if (stop && stop(result)) break;
+    pool_ = std::make_unique<util::ThreadPool>(jobs);
   }
+  util::ThreadPool& pool = *pool_;
+
+  bool stopped = false;
+  std::vector<WorkerResult> results;
+  while (!stopped) {
+    const std::vector<fuzz::FuzzJob> batch = scheduler.next_batch(batch_size);
+    if (batch.empty()) break;
+
+    results.clear();
+    results.resize(batch.size());
+    // The merger is quiescent until the batch completes, so its covered
+    // bitmap is a stable read-only snapshot for every worker.
+    const std::vector<bool>& lp_covered = merger.lp_covered_mask();
+    pool.parallel_for(batch.size(), [&](std::size_t task, std::size_t ctx) {
+      results[task] = workers_[ctx]->process(batch[task], &lp_covered);
+    });
+
+    // Merge in iteration order; feedback earned here shapes the corpus the
+    // next batch is drawn from (batch-synchronous semantics).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (merger.merge(std::move(results[i]))) {
+        scheduler.feedback(batch[i].program, batch[i].iteration);
+      }
+      if (stop && stop(merger.result())) {
+        stopped = true;
+        break;
+      }
+    }
+  }
+
+  CampaignResult result = merger.take_result();
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
                        .count();

@@ -6,27 +6,47 @@
 // The engine supports both feedback modes compared in the paper's Figure 2
 // and §4.2: the novel Leakage Path coverage, and the traditional code
 // coverage (toggle/branch/FSM/condition) a TheHuzz-style fuzzer uses.
+//
+// Parallel campaign architecture
+// ------------------------------
+// Each fuzzing iteration simulates one program on a cold core, which makes
+// the Online Phase embarrassingly parallel. run() is a three-layer
+// pipeline:
+//
+//   CampaignScheduler --> N x CampaignWorker --> ResultMerger
+//
+// The scheduler draws a batch of (iteration, program, derived_rng_seed)
+// jobs from the fuzzer; the jobs are simulated and analyzed concurrently
+// by `jobs` workers, each owning a private sim::Simulator; the merger then
+// applies LP-coverage commits, code-coverage merges, vulnerability
+// deduplication, MST sampling and corpus feedback strictly in iteration
+// order.
+//
+// Determinism contract (batch-synchronous feedback): every program of
+// batch k is generated from the corpus state after batch k-1 was fully
+// merged, so corpus updates earned in batch k take effect in batch k+1.
+// Consequently a campaign with a fixed rng_seed and batch_size produces a
+// bit-identical CampaignResult regardless of `jobs` — thread count only
+// changes wall-clock time. batch_size == 1 (the default) degenerates to
+// the classic serial generate → simulate → feed-back loop and reproduces
+// the pre-pipeline engine's results exactly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/coverage_calc.hpp"
-#include "core/mst.hpp"
+#include "core/campaign_scheduler.hpp"
+#include "core/campaign_worker.hpp"
 #include "core/offline.hpp"
-#include "core/vuln_detect.hpp"
+#include "core/result_merger.hpp"
 #include "fuzz/corpus.hpp"
 #include "sim/core.hpp"
+#include "util/thread_pool.hpp"
 
 namespace specure::core {
-
-enum class FeedbackMode : std::uint8_t {
-  kLeakagePath,   ///< Specure's LP coverage (novel metric)
-  kCodeCoverage,  ///< traditional coverage, the baseline in Fig. 2
-};
 
 struct EngineOptions {
   sim::CoreConfig core;
@@ -37,37 +57,24 @@ struct EngineOptions {
   ift::PdlcOptions pdlc;
   std::uint64_t rng_seed = 1;
   std::size_t mst_sample_rows = 16;  ///< MST rows retained for reporting
-};
 
-struct IterationRecord {
-  std::uint64_t iteration = 0;
-  std::size_t covered_pdlc = 0;     ///< cumulative LP coverage
-  std::size_t coverage_points = 0;  ///< cumulative code-coverage points
-  std::size_t vulns_found = 0;      ///< cumulative distinct findings
-  std::uint64_t cycles = 0;         ///< simulated cycles this iteration
+  /// Simulation worker count; 0 means std::thread::hardware_concurrency.
+  /// Never affects campaign results, only wall-clock time.
+  std::size_t jobs = 1;
+  /// Jobs scheduled (and simulated concurrently) per batch. Corpus
+  /// feedback earned in batch k takes effect in batch k+1, so raising the
+  /// batch size trades feedback latency for parallelism. 1 reproduces the
+  /// classic per-iteration feedback loop exactly.
+  std::size_t batch_size = 1;
 };
-
-struct CampaignResult {
-  std::vector<IterationRecord> history;
-  std::vector<VulnReport> vulns;  ///< distinct findings (by kind+sink)
-  /// First-detection iteration per finding key ("direct-leak:core.rf.x7").
-  std::map<std::string, std::uint64_t> first_detection;
-  std::vector<SpecWindow> mst_sample;
-  std::size_t total_windows = 0;
-  std::size_t mispredicted_windows = 0;
-  std::size_t pdlc_total = 0;
-  double seconds = 0;
-};
-
-/// Key used for deduplicating findings across iterations.
-std::string finding_key(const VulnReport& report);
 
 class SpecureEngine {
  public:
   explicit SpecureEngine(const EngineOptions& options);
 
   /// Run `iterations` fuzzing rounds. If `stop` is set, the campaign ends
-  /// early once it returns true (inspected after every iteration).
+  /// early once it returns true (inspected after every merged iteration,
+  /// including mid-batch).
   CampaignResult run(std::uint64_t iterations,
                      const std::function<bool(const CampaignResult&)>& stop =
                          nullptr);
@@ -75,10 +82,17 @@ class SpecureEngine {
   const OfflineResult& offline() const { return offline_; }
   const sim::Simulator& simulator() const { return sim_; }
 
+  /// The worker count run() will actually use (resolves jobs == 0).
+  std::size_t resolved_jobs() const;
+
  private:
   EngineOptions options_;
   OfflineResult offline_;
   sim::Simulator sim_;
+  /// Worker pool, built lazily on the first run() and reused by later
+  /// campaigns (simulator construction is not free).
+  std::vector<std::unique_ptr<CampaignWorker>> workers_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace specure::core

@@ -44,7 +44,10 @@ const CorpusEntry& Corpus::select(util::Rng& rng) {
 }
 
 Fuzzer::Fuzzer(const FuzzerOptions& options, std::uint64_t rng_seed)
-    : options_(options), rng_(rng_seed), corpus_(options.corpus_max) {
+    : options_(options),
+      rng_(rng_seed),
+      corpus_(options.corpus_max),
+      job_seed_base_(util::Rng::derive_seed(rng_seed, 0x10b5eedULL)) {
   util::Rng seed_rng = rng_.fork();
   if (options_.use_special_seeds) {
     for (auto& s : special_seeds(seed_rng)) {
@@ -59,6 +62,23 @@ Fuzzer::Fuzzer(const FuzzerOptions& options, std::uint64_t rng_seed)
 
 riscv::Program Fuzzer::next() {
   ++iteration_;
+  return generate();
+}
+
+std::vector<FuzzJob> Fuzzer::next_batch(std::size_t count) {
+  std::vector<FuzzJob> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FuzzJob job;
+    job.iteration = ++iteration_;
+    job.program = generate();
+    job.rng_seed = util::Rng::derive_seed(job_seed_base_, job.iteration);
+    batch.push_back(std::move(job));
+  }
+  return batch;
+}
+
+riscv::Program Fuzzer::generate() {
   if (!pending_seeds_.empty()) {
     Seed s = std::move(pending_seeds_.back());
     pending_seeds_.pop_back();
@@ -83,7 +103,12 @@ riscv::Program Fuzzer::next() {
 }
 
 void Fuzzer::report_interesting(const riscv::Program& program) {
-  corpus_.add(program, "mutation", iteration_);
+  report_interesting(program, iteration_);
+}
+
+void Fuzzer::report_interesting(const riscv::Program& program,
+                                std::uint64_t iteration) {
+  corpus_.add(program, "mutation", iteration);
 }
 
 }  // namespace specure::fuzz

@@ -52,9 +52,26 @@ struct FuzzerOptions {
   unsigned splice_percent = 15;
 };
 
+/// One unit of campaign work handed to a simulation worker: the test
+/// input, its iteration number (for in-order merging and corpus
+/// bookkeeping) and a derived per-iteration RNG seed so any stochastic
+/// worker-side component stays deterministic regardless of which thread
+/// runs the job.
+struct FuzzJob {
+  std::uint64_t iteration = 0;
+  riscv::Program program;
+  std::uint64_t rng_seed = 0;
+};
+
 /// The Hardware Fuzzer component (§3.2): owns the corpus, generates the
 /// next test input, and accepts interestingness feedback from the
 /// coverage/vulnerability components.
+///
+/// Batch generation (next_batch) draws every program in the batch from the
+/// corpus state at the start of the batch; feedback reported afterwards
+/// (report_interesting with an explicit iteration) lands before the next
+/// batch is drawn. With a batch size of 1 this degenerates to the classic
+/// generate → simulate → feed-back loop.
 class Fuzzer {
  public:
   Fuzzer(const FuzzerOptions& options, std::uint64_t rng_seed);
@@ -62,19 +79,30 @@ class Fuzzer {
   /// Produce the next test input (seed replay first, then mutations).
   riscv::Program next();
 
+  /// Produce the next `count` test inputs as campaign jobs. Consumes the
+  /// same RNG stream as `count` calls to next().
+  std::vector<FuzzJob> next_batch(std::size_t count);
+
   /// Feedback: the input was interesting (new coverage / vulnerability) —
-  /// keep it in the corpus.
+  /// keep it in the corpus. The overload without an iteration stamps the
+  /// entry with the current iteration (serial-loop usage); batch merging
+  /// passes the iteration the program actually ran as.
   void report_interesting(const riscv::Program& program);
+  void report_interesting(const riscv::Program& program,
+                          std::uint64_t iteration);
 
   std::uint64_t iteration() const { return iteration_; }
   const Corpus& corpus() const { return corpus_; }
 
  private:
+  riscv::Program generate();
+
   FuzzerOptions options_;
   util::Rng rng_;
   Corpus corpus_;
   std::vector<Seed> pending_seeds_;
   std::uint64_t iteration_ = 0;
+  std::uint64_t job_seed_base_ = 0;  ///< base for per-iteration RNG seeds
   riscv::Program last_;
 };
 

@@ -56,4 +56,15 @@ double Rng::uniform01() {
 
 Rng Rng::fork() { return Rng(next()); }
 
+std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Feed splitmix64 a mix of base and stream; the golden-ratio multiply
+  // decorrelates adjacent stream ids before the finalizer.
+  std::uint64_t state = base ^ (stream * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  return Rng(derive_seed(s_[0] ^ s_[3], stream));
+}
+
 }  // namespace specure::util

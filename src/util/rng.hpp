@@ -50,6 +50,19 @@ class Rng {
   /// that must not perturb the parent's stream).
   Rng fork();
 
+  /// Derive the seed of an independent child stream identified by
+  /// `stream` (e.g. a fuzzing iteration number) from a base seed, without
+  /// any generator state involved. Deterministic and order-independent:
+  /// derive_seed(b, i) is the same no matter how many other streams were
+  /// split before — the property the parallel campaign engine relies on
+  /// to stay bit-identical across thread counts.
+  static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
+  /// Split an independent child generator for `stream` off the *current*
+  /// state without perturbing this generator (unlike fork(), which
+  /// advances the parent).
+  Rng split(std::uint64_t stream) const;
+
  private:
   std::uint64_t s_[4];
 };

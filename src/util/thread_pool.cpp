@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+namespace specure::util {
+
+ThreadPool::ThreadPool(std::size_t contexts)
+    : contexts_(contexts == 0 ? 1 : contexts) {
+  threads_.reserve(contexts_ - 1);
+  for (std::size_t c = 1; c < contexts_; ++c) {
+    threads_.emplace_back([this, c] { worker_main(c); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_tasks(
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t context) {
+  for (;;) {
+    const std::size_t task = next_task_.fetch_add(1);
+    if (task >= task_count_) return;
+    try {
+      fn(task, context);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+      // Abandon unclaimed tasks: park the cursor past the end.
+      next_task_.store(task_count_);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_main(std::size_t context) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = fn_;
+    }
+    run_tasks(*fn, context);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++idle_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t tasks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t t = 0; t < tasks; ++t) fn(t, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    task_count_ = tasks;
+    next_task_.store(0);
+    idle_workers_ = 0;
+    error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_tasks(fn, 0);  // the caller is context 0
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return idle_workers_ == threads_.size(); });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace specure::util

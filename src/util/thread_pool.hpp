@@ -1,0 +1,64 @@
+// Fixed-size pool for batch-parallel loops.
+//
+// parallel_for(n, fn) invokes fn(task_index, context_index) for every task
+// in [0, n). Tasks are claimed dynamically (an atomic cursor), so uneven
+// task costs balance automatically. context_index is unique among
+// concurrently running invocations and always < contexts(); callers use it
+// to index per-thread scratch state (e.g. one simulator per context).
+//
+// The calling thread participates as context 0, so a pool with
+// contexts() == 1 spawns no threads and runs everything inline — the
+// serial path has zero synchronisation overhead and is byte-for-byte the
+// plain loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specure::util {
+
+class ThreadPool {
+ public:
+  /// A pool with `contexts` execution contexts: the caller plus
+  /// contexts - 1 background threads. contexts == 0 is treated as 1.
+  explicit ThreadPool(std::size_t contexts);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t contexts() const { return contexts_; }
+
+  /// Run fn(task, context) for task in [0, tasks); blocks until all tasks
+  /// finished. If any invocation throws, the remaining unclaimed tasks are
+  /// abandoned and the first exception is rethrown here. Not reentrant.
+  void parallel_for(std::size_t tasks,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_main(std::size_t context);
+  void run_tasks(const std::function<void(std::size_t, std::size_t)>& fn,
+                 std::size_t context);
+
+  std::size_t contexts_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::size_t task_count_ = 0;
+  std::atomic<std::size_t> next_task_{0};
+  std::size_t idle_workers_ = 0;  ///< workers done with the current generation
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace specure::util

@@ -6,8 +6,11 @@
 //       optionally dump the IFG as Graphviz and the structural Verilog.
 //   specure fuzz [--iters N] [--seed S] [--mwait] [--zenbleed]
 //                [--monitor-cache] [--feedback lp|codecov]
-//                [--json FILE] [--no-special-seeds]
+//                [--jobs N] [--batch B] [--stop-after-vulns K]
+//                [--json FILE] [--no-special-seeds] [--quiet]
 //       Run a fuzzing campaign and print the text report (JSON optional).
+//       --jobs 0 (the default) uses every hardware thread; results are
+//       identical for any --jobs value at a fixed --batch.
 //   specure audit FILE.v --top MODULE [--dot FILE]
 //       Offline phase over external Verilog: list every PDLC.
 //   specure disasm HEXWORD [PC]
@@ -55,9 +58,10 @@ Args parse_args(int argc, char** argv, int first) {
       // Flags taking a value consume the next token when present and not
       // itself a flag.
       std::string value;
-      static const char* kValueFlags[] = {"--dot",  "--verilog", "--iters",
-                                          "--seed", "--json",    "--top",
-                                          "--feedback"};
+      static const char* kValueFlags[] = {
+          "--dot",  "--verilog", "--iters", "--seed",
+          "--json", "--top",     "--feedback", "--jobs",
+          "--batch", "--stop-after-vulns"};
       bool takes_value = false;
       for (const char* f : kValueFlags) takes_value |= a == f;
       if (takes_value && i + 1 < argc) value = argv[++i];
@@ -116,10 +120,37 @@ int cmd_fuzz(const Args& args) {
   }
   const std::uint64_t iters =
       std::strtoull(args.get("--iters", "1000").c_str(), nullptr, 10);
+  // 0 = all hardware threads. The batch size is fixed independently of the
+  // worker count so results only depend on --seed and --batch, never on
+  // --jobs (see core/specure.hpp's determinism contract).
+  opts.jobs = std::strtoull(args.get("--jobs", "0").c_str(), nullptr, 10);
+  opts.batch_size =
+      std::strtoull(args.get("--batch", "32").c_str(), nullptr, 10);
+  const std::uint64_t stop_after_vulns =
+      std::strtoull(args.get("--stop-after-vulns", "0").c_str(), nullptr, 10);
+  const bool quiet = args.has("--quiet");
 
   core::SpecureEngine engine(opts);
-  const core::CampaignResult result = engine.run(iters);
+  std::uint64_t last_progress = 0;
+  const auto stop = [&](const core::CampaignResult& r) {
+    if (!quiet && r.history.size() >= last_progress + 500) {
+      last_progress = r.history.size();
+      std::fprintf(stderr,
+                   "[specure] iter %llu/%llu  lp=%zu  cov=%zu  vulns=%zu\n",
+                   static_cast<unsigned long long>(r.history.size()),
+                   static_cast<unsigned long long>(iters),
+                   r.history.empty() ? 0 : r.history.back().covered_pdlc,
+                   r.history.empty() ? 0 : r.history.back().coverage_points,
+                   r.vulns.size());
+    }
+    return stop_after_vulns > 0 && r.vulns.size() >= stop_after_vulns;
+  };
+  const core::CampaignResult result = engine.run(iters, stop);
+  // The report itself carries wall-clock and iterations/sec; the footer
+  // only adds the execution shape.
   core::write_text_report(std::cout, result);
+  std::printf("\n(jobs: %zu, batch size: %zu)\n", engine.resolved_jobs(),
+              opts.batch_size);
   if (args.has("--json")) {
     std::ofstream json(args.get("--json"));
     if (!json) {
@@ -184,7 +215,8 @@ void usage() {
                "  offline [--mwait] [--zenbleed] [--dot F] [--verilog F]\n"
                "  fuzz [--iters N] [--seed S] [--mwait] [--zenbleed]\n"
                "       [--monitor-cache] [--feedback lp|codecov]\n"
-               "       [--json F] [--no-special-seeds]\n"
+               "       [--jobs N] [--batch B] [--stop-after-vulns K]\n"
+               "       [--json F] [--no-special-seeds] [--quiet]\n"
                "  audit FILE.v --top MODULE [--dot F]\n"
                "  disasm HEXWORD [PC]\n");
 }
