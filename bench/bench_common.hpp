@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/specure.hpp"
+#include "core/session.hpp"
 
 namespace specure::bench {
 
@@ -29,11 +29,20 @@ inline std::uint64_t first_detection(const core::CampaignResult& result,
   return 0;
 }
 
-/// Stop predicate matching a finding-key substring.
-inline auto stop_on(const std::string& pattern) {
-  return [pattern](const core::CampaignResult& r) {
-    return first_detection(r, pattern) != 0;
-  };
+/// Stop condition matching a finding-key substring (sugar over
+/// Session::stop_on_finding for bench call sites).
+inline core::Session::StopCondition stop_on(const std::string& pattern) {
+  return core::Session::stop_on_finding(pattern);
+}
+
+/// Run one spec with an optional extra stop condition — the bench-side
+/// one-liner for "campaign under these options, stop when ...".
+inline core::CampaignResult run_spec(
+    const core::CampaignSpec& spec,
+    core::Session::StopCondition stop = nullptr) {
+  core::Session session(spec);
+  if (stop) session.add_stop(std::move(stop));
+  return session.run();
 }
 
 /// The paper reports wall-clock hours on a 32-core Xeon running RTL

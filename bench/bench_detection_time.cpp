@@ -19,13 +19,12 @@ using namespace specure;
 namespace {
 
 std::uint64_t specure_spectre_iters(bool special_seeds, std::uint64_t seed) {
-  core::EngineOptions opts;
-  opts.detector.monitor_cache = true;
-  opts.fuzzer.use_special_seeds = special_seeds;
-  opts.rng_seed = seed;
-  core::SpecureEngine engine(opts);
-  const auto result =
-      engine.run(30000, bench::stop_on("cache-residue"));
+  core::CampaignSpec spec = core::CampaignSpec::preset("cache-monitor");
+  spec.fuzzer.use_special_seeds = special_seeds;
+  spec.rng_seed = seed;
+  spec.budget.iterations = 30000;
+  spec.batch_size = 1;  // per-iteration feedback, as in the paper's loop
+  const auto result = bench::run_spec(spec, bench::stop_on("cache-residue"));
   return bench::first_detection(result, "cache-residue");
 }
 
@@ -108,11 +107,13 @@ int main() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
-    core::EngineOptions opts;
-    opts.rng_seed = 33;
-    core::SpecureEngine engine(opts);
+    core::CampaignSpec spec;
+    spec.rng_seed = 33;
+    spec.budget.iterations = iters;
+    spec.batch_size = 1;  // match the serial TheHuzz-style loop above
+    core::Session session(spec);
     const auto t1 = std::chrono::steady_clock::now();
-    engine.run(iters);
+    session.run();
     const double full_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
             .count();
@@ -125,20 +126,20 @@ int main() {
 
   bench::header("E6c: emulated-vulnerability detection effort (iterations)");
   {
-    core::EngineOptions opts;
-    opts.core.vuln.zenbleed_emulation = true;
-    opts.rng_seed = 1;
-    core::SpecureEngine engine(opts);
-    const auto r = engine.run(30000, bench::stop_on("core.rf."));
+    core::CampaignSpec spec = core::CampaignSpec::preset("zenbleed");
+    spec.rng_seed = 1;
+    spec.budget.iterations = 30000;
+    spec.batch_size = 1;
+    const auto r = bench::run_spec(spec, bench::stop_on("core.rf."));
     std::printf("  Zenbleed e.m.: %llu iterations (paper: 4.5h)\n",
                 (unsigned long long)bench::first_detection(r, "core.rf."));
   }
   {
-    core::EngineOptions opts;
-    opts.core.vuln.mwait_emulation = true;
-    opts.rng_seed = 1;
-    core::SpecureEngine engine(opts);
-    const auto r = engine.run(60000, bench::stop_on("mwait_timer"));
+    core::CampaignSpec spec = core::CampaignSpec::preset("mwait");
+    spec.rng_seed = 1;
+    spec.budget.iterations = 60000;
+    spec.batch_size = 1;
+    const auto r = bench::run_spec(spec, bench::stop_on("mwait_timer"));
     const auto it = bench::first_detection(r, "mwait_timer");
     if (it != 0) {
       std::printf("  (M)WAIT e.m.:  %llu iterations (paper: 14h, its "

@@ -30,11 +30,12 @@ std::vector<double> mean_series(core::FeedbackMode mode,
                                 std::uint64_t iterations, int reps) {
   std::vector<double> mean(iterations, 0.0);
   for (int rep = 0; rep < reps; ++rep) {
-    core::EngineOptions opts;
-    opts.feedback = mode;
-    opts.rng_seed = 100 + static_cast<std::uint64_t>(rep);
-    core::SpecureEngine engine(opts);
-    const auto result = engine.run(iterations);
+    core::CampaignSpec spec;
+    spec.feedback = mode;
+    spec.rng_seed = 100 + static_cast<std::uint64_t>(rep);
+    spec.budget.iterations = iterations;
+    spec.batch_size = 1;  // per-iteration feedback, as in the paper's loop
+    const auto result = bench::run_spec(spec);
     for (std::size_t i = 0; i < iterations; ++i) {
       mean[i] += static_cast<double>(result.history[i].covered_pdlc) / reps;
     }
@@ -87,11 +88,12 @@ int main() {
 
   bench::header("D1 ablation: LP covering policy (1 rep)");
   for (auto policy : {core::LpPolicy::kAllSignals, core::LpPolicy::kEndpoints}) {
-    core::EngineOptions opts;
-    opts.lp_policy = policy;
-    opts.rng_seed = 100;
-    core::SpecureEngine engine(opts);
-    const auto result = engine.run(std::min<std::uint64_t>(iters, 1500));
+    core::CampaignSpec spec;
+    spec.lp_policy = policy;
+    spec.rng_seed = 100;
+    spec.batch_size = 1;
+    spec.budget.iterations = std::min<std::uint64_t>(iters, 1500);
+    const auto result = bench::run_spec(spec);
     std::printf("  policy=%-11s covered=%zu of %zu\n",
                 policy == core::LpPolicy::kAllSignals ? "all-signals"
                                                       : "endpoints",

@@ -27,12 +27,12 @@ int main() {
   double base_ips = 0;
   std::size_t base_lp = 0;
   for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
-    core::EngineOptions opts;
-    opts.rng_seed = 1;
-    opts.jobs = jobs;
-    opts.batch_size = kBatch;
-    core::SpecureEngine engine(opts);
-    const core::CampaignResult result = engine.run(kIters);
+    core::CampaignSpec spec;
+    spec.rng_seed = 1;
+    spec.jobs = jobs;
+    spec.batch_size = kBatch;
+    spec.budget.iterations = kIters;
+    const core::CampaignResult result = bench::run_spec(spec);
     const double ips =
         result.seconds > 0
             ? static_cast<double>(result.history.size()) / result.seconds

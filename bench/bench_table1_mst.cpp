@@ -11,11 +11,12 @@ int main() {
   bench::header("E3 / Table 1: Misspeculation Table (MST)");
   bench::note("paper row 1: '1  34594  34625  FBEC52E3  BGE S8, T5, 0x800025B0'");
 
-  core::EngineOptions opts;
-  opts.rng_seed = 2024;
-  opts.mst_sample_rows = 12;
-  core::SpecureEngine engine(opts);
-  const core::CampaignResult result = engine.run(300);
+  core::CampaignSpec spec;
+  spec.rng_seed = 2024;
+  spec.mst_sample_rows = 12;
+  spec.budget.iterations = 300;
+  spec.batch_size = 1;  // per-iteration feedback, as in the paper's loop
+  const core::CampaignResult result = bench::run_spec(spec);
 
   std::printf("  ID\tStart\tEnd\tInstruction\tInstruction(Readable)\n");
   for (std::size_t i = 0; i < result.mst_sample.size(); ++i) {

@@ -41,14 +41,15 @@ const char* mark(const Cell& c) { return c.detected ? "Y" : "-"; }
 Cell run_specure(const sim::VulnConfig& vuln, bool monitor_cache,
                  const std::string& pattern, bool want_indirect_opener,
                  std::uint64_t budget, bool match_opener = false) {
-  core::EngineOptions opts;
-  opts.core.vuln = vuln;
-  opts.detector.monitor_cache = monitor_cache;
-  opts.rng_seed = 1;
-  core::SpecureEngine engine(opts);
+  core::CampaignSpec spec;
+  spec.core.vuln = vuln;
+  spec.detector.monitor_cache = monitor_cache;
+  spec.rng_seed = 1;
+  spec.budget.iterations = budget;
+  spec.batch_size = 1;  // per-iteration feedback, as in the paper's loop
 
   Cell cell;
-  engine.run(budget, [&](const core::CampaignResult& r) {
+  bench::run_spec(spec, [&](const core::CampaignResult& r) {
     for (const auto& v : r.vulns) {
       if (core::finding_key(v).find(pattern) == std::string::npos) continue;
       if (match_opener &&

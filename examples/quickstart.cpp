@@ -1,27 +1,37 @@
-// Quickstart: the smallest end-to-end Specure campaign.
+// Quickstart: the smallest end-to-end Specure campaign on the new
+// declarative API.
 //
-// Configures the MiniBOOM PUT, runs the offline IFT phase (IFG -> PDLC),
-// fuzzes for a few hundred iterations with Leakage Path coverage feedback,
-// and prints the campaign summary plus any findings.
+// Builds a CampaignSpec from the "cache-monitor" preset (Spectre residue
+// watched too), runs it through a Session with live event observers, and
+// prints the campaign summary plus any findings.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 #include <cstdio>
 
-#include "core/specure.hpp"
+#include "core/session.hpp"
 
 int main() {
   using namespace specure;
 
-  core::EngineOptions options;
-  options.rng_seed = 42;
-  options.detector.monitor_cache = true;  // also watch for Spectre residue
+  core::CampaignSpec spec = core::CampaignSpec::preset("cache-monitor");
+  spec.rng_seed = 42;
+  spec.budget.iterations = 300;
 
-  core::SpecureEngine engine(options);
+  core::Session session(spec);
   std::printf("offline phase: %zu signals, %zu flow edges, %zu PDLCs\n",
-              engine.offline().ifg.node_count(),
-              engine.offline().ifg.edge_count(), engine.offline().pdlc.size());
+              session.offline().ifg.node_count(),
+              session.offline().ifg.edge_count(),
+              session.offline().pdlc.size());
 
-  const core::CampaignResult result = engine.run(300);
+  // Events stream in strictly-merged iteration order while the campaign
+  // runs — no polling, no stop-lambda contortions.
+  session.on_vuln([](const core::VulnEvent& e) {
+    std::printf("  ! finding at iteration %llu: %s\n",
+                static_cast<unsigned long long>(e.iteration),
+                core::finding_key(e.report).c_str());
+  });
+
+  const core::CampaignResult result = session.run();
 
   std::printf("campaign: %zu iterations in %.2fs\n", result.history.size(),
               result.seconds);

@@ -1,34 +1,44 @@
 // Spectre hunt: reproduce the paper's Spectre experiment (§4.2,
-// "Detecting Spectre Vulnerabilities") — the data cache is added to the
-// monitored sinks and the campaign runs with the special transient-window
-// seeds until both Spectre classes are found. Prints the findings with
-// their root-cause reports and the Misspeculation Table of the run.
+// "Detecting Spectre Vulnerabilities") — the "cache-monitor" preset adds
+// the data cache to the monitored sinks, and the campaign runs with the
+// special transient-window seeds until both Spectre classes are found.
+// Stop conditions compose on the Session: one per Spectre class, joined
+// by a small AND-combinator over the typed event stream. Prints the
+// findings with their root-cause reports and the Misspeculation Table.
 //
-// Build & run:  ./build/examples/spectre_hunt
+// Build & run:  ./build/spectre_hunt
 #include <cstdio>
 
 #include "core/mst.hpp"
-#include "core/specure.hpp"
+#include "core/session.hpp"
 
 int main() {
   using namespace specure;
 
-  core::EngineOptions options;
-  options.rng_seed = 7;
-  options.detector.monitor_cache = true;
-  options.fuzzer.use_special_seeds = true;  // §3.2 window-opener seeds
+  core::CampaignSpec spec = core::CampaignSpec::preset("cache-monitor");
+  spec.rng_seed = 7;
+  spec.budget.iterations = 5000;
 
-  core::SpecureEngine engine(options);
-  const core::CampaignResult result = engine.run(
-      5000, [](const core::CampaignResult& r) {
-        bool v1 = false, v2 = false;
-        for (const auto& [key, it] : r.first_detection) {
-          v1 |= key.find("cache-residue") != std::string::npos &&
-                key.find(":conditional") != std::string::npos;
-          v2 |= key.find(":indirect") != std::string::npos;
-        }
-        return v1 && v2;
-      });
+  core::Session session(spec);
+
+  // Watch the typed vuln event stream for the two Spectre classes, and
+  // stop once both appeared (add_stop conditions OR together, so the
+  // AND lives in the observer state).
+  bool v1 = false, v2 = false;
+  session.on_vuln([&](const core::VulnEvent& e) {
+    const std::string key = core::finding_key(e.report);
+    const bool indirect = e.report.window.has_indirect_opener();
+    if (key.find("cache-residue") != std::string::npos && !indirect) {
+      v1 = true;
+    }
+    if (indirect) v2 = true;
+    std::printf("  iteration %-6llu %s-class finding: %s\n",
+                static_cast<unsigned long long>(e.iteration),
+                indirect ? "v2" : "v1", key.c_str());
+  });
+  session.add_stop([&](const core::CampaignResult&) { return v1 && v2; });
+
+  const core::CampaignResult result = session.run();
 
   std::printf("Spectre hunt finished after %zu iterations (%.2fs)\n",
               result.history.size(), result.seconds);

@@ -1,0 +1,132 @@
+// CampaignSpec — the declarative description of one fuzzing campaign.
+//
+// A spec bundles everything that determines a campaign's outcome (core
+// preset + overrides, fuzzer options, feedback mode, detector set, RNG
+// seed, batch shape) plus its budgets (iteration / vulnerability /
+// wall-clock / coverage-plateau) into one serializable value, so a whole
+// experiment is one file and the paper's evaluation matrix is a handful
+// of named presets:
+//
+//   CampaignSpec spec = CampaignSpec::preset("zenbleed");
+//   spec.set("rob_entries", "32");            // key=value overrides
+//   spec.budget.iterations = 5000;
+//   spec.save("zenbleed_rob32.toml");         // TOML subset, reloadable
+//   CampaignResult result = Session(spec).run();
+//
+// Every field that can affect the campaign result is covered by the flat
+// key table (CampaignSpec::keys), which backs four things at once: CLI
+// key=value overrides, the TOML-subset load/save, the resolved-spec echo
+// embedded in reports, and spec equality. A spec saved with save() reloads
+// to a bit-identical campaign result at a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/result_merger.hpp"
+#include "core/vuln_detect.hpp"
+#include "fuzz/corpus.hpp"
+#include "ift/pdlc.hpp"
+#include "sim/config.hpp"
+
+namespace specure::core {
+
+/// Thrown for every spec-layer failure: unknown preset or key, value
+/// parse error, failed validation, malformed TOML, I/O error. The message
+/// is always actionable (names the key, the offending value, the
+/// accepted form, and a "did you mean" hint where one exists).
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Campaign budgets: the composable stop conditions a Session enforces.
+/// Every budget with value 0 is disabled (except iterations).
+struct CampaignBudget {
+  std::uint64_t iterations = 1000;  ///< hard iteration cap (always on)
+  std::uint64_t max_vulns = 0;      ///< stop after N distinct findings
+  double max_seconds = 0;           ///< wall-clock cap (non-deterministic)
+  /// Stop once the feedback metric (LP coverage, or code-coverage points
+  /// under codecov feedback) has not grown for this many iterations.
+  std::uint64_t plateau = 0;
+};
+
+struct PresetInfo {
+  std::string name;
+  std::string description;
+};
+
+struct SpecField {
+  std::string key;      ///< flat override key, e.g. "rob_entries"
+  std::string section;  ///< TOML section: "", "core", "fuzzer", ...
+  std::string value;    ///< resolved value rendered as text
+  bool quoted = false;  ///< string-typed (quoted in TOML / JSON)
+};
+
+struct CampaignSpec {
+  std::string name = "default";   ///< scenario label used in reports
+  sim::CoreConfig core;
+  fuzz::FuzzerOptions fuzzer;
+  FeedbackMode feedback = FeedbackMode::kLeakagePath;
+  DetectorOptions detector;
+  LpPolicy lp_policy = LpPolicy::kAllSignals;
+  ift::PdlcOptions pdlc;
+  std::uint64_t rng_seed = 1;
+  std::size_t mst_sample_rows = 16;
+  /// Simulation worker count; 0 = all hardware threads. Never affects
+  /// campaign results, only wall-clock time.
+  std::size_t jobs = 0;
+  /// Jobs simulated concurrently per batch; corpus feedback earned in
+  /// batch k takes effect in batch k+1 (see core/specure.hpp). 1
+  /// reproduces the classic serial feedback loop exactly.
+  std::size_t batch_size = 32;
+  /// on_progress event cadence in merged iterations; 0 disables.
+  std::uint64_t progress_interval = 500;
+  CampaignBudget budget;
+
+  // ---- named scenario presets -------------------------------------------
+  /// Registry of the paper's evaluation scenarios ("default", "lp",
+  /// "codecov", "mwait", "zenbleed", "no-spec", "cache-monitor", "full").
+  static const std::vector<PresetInfo>& presets();
+  /// Look up a preset by name; throws SpecError with a "did you mean"
+  /// hint for unknown names.
+  static CampaignSpec preset(std::string_view name);
+
+  // ---- key=value overrides ----------------------------------------------
+  /// Set one field from its flat key ("rob_entries", "feedback", ...).
+  /// Throws SpecError on unknown keys (with suggestion) or bad values.
+  void set(const std::string& key, const std::string& value);
+  /// Parse and apply one "key=value" assignment.
+  void apply_override(const std::string& assignment);
+  /// All known override keys, in declaration order.
+  static std::vector<std::string> keys();
+
+  // ---- serialization (TOML subset) --------------------------------------
+  /// Every field as (key, section, rendered value). The single source for
+  /// to_toml(), the JSON spec echo in reports, and operator==.
+  std::vector<SpecField> fields() const;
+  std::string to_toml() const;
+  /// Parse a spec from the TOML subset written by to_toml(): [section]
+  /// headers, key = value lines, "#" comments, quoted strings, integers,
+  /// bools. A `preset = "name"` key (anywhere) seeds the spec before the
+  /// remaining keys apply. Throws SpecError with a line number.
+  static CampaignSpec from_toml(std::istream& in);
+  static CampaignSpec from_toml_string(const std::string& text);
+  void save(const std::string& path) const;
+  static CampaignSpec load(const std::string& path);
+
+  /// Check the spec is runnable; throws SpecError listing every problem.
+  void validate() const;
+
+  bool operator==(const CampaignSpec& other) const;
+};
+
+std::string_view feedback_mode_name(FeedbackMode mode);
+std::string_view lp_policy_name(LpPolicy policy);
+
+}  // namespace specure::core

@@ -31,10 +31,24 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
-void write_text_report(std::ostream& os, const CampaignResult& result) {
+void write_text_report(std::ostream& os, const CampaignResult& result,
+                       const CampaignSpec* spec) {
   os << "Specure campaign report\n"
-     << "=======================\n"
-     << "iterations:            " << result.history.size() << "\n"
+     << "=======================\n";
+  if (spec != nullptr) {
+    os << "scenario:              " << spec->name << "\n"
+       << "feedback:              " << feedback_mode_name(spec->feedback)
+       << " (" << lp_policy_name(spec->lp_policy) << ")\n"
+       << "rng seed:              " << spec->rng_seed << "\n"
+       << "execution:             jobs=" << spec->jobs
+       << " batch=" << spec->batch_size << "\n"
+       << "emulations:            mwait="
+       << (spec->core.vuln.mwait_emulation ? "on" : "off") << " zenbleed="
+       << (spec->core.vuln.zenbleed_emulation ? "on" : "off")
+       << " cache-monitor="
+       << (spec->detector.monitor_cache ? "on" : "off") << "\n";
+  }
+  os << "iterations:            " << result.history.size() << "\n"
      << "wall-clock seconds:    " << result.seconds << "\n"
      << "iterations/sec:        "
      << (result.seconds > 0
@@ -85,8 +99,25 @@ void write_text_report(std::ostream& os, const CampaignResult& result) {
   }
 }
 
+std::string spec_json(const CampaignSpec& spec) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const SpecField& f : spec.fields()) {
+    os << (first ? "" : ", ") << '"' << json_escape(f.key) << "\": ";
+    if (f.quoted) {
+      os << '"' << json_escape(f.value) << '"';
+    } else {
+      os << f.value;
+    }
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
 void write_json_report(std::ostream& os, const CampaignResult& result,
-                       std::size_t history_points) {
+                       std::size_t history_points, const CampaignSpec* spec) {
   os << "{\n  \"campaign\": {"
      << "\"iterations\": " << result.history.size()
      << ", \"seconds\": " << result.seconds
@@ -97,7 +128,11 @@ void write_json_report(std::ostream& os, const CampaignResult& result,
     os << ", \"covered_pdlc\": " << result.history.back().covered_pdlc
        << ", \"coverage_points\": " << result.history.back().coverage_points;
   }
-  os << "},\n  \"findings\": [";
+  os << "},\n";
+  if (spec != nullptr) {
+    os << "  \"spec\": " << spec_json(*spec) << ",\n";
+  }
+  os << "  \"findings\": [";
   for (std::size_t i = 0; i < result.vulns.size(); ++i) {
     const VulnReport& v = result.vulns[i];
     os << (i == 0 ? "" : ",") << "\n    {\"kind\": \""
@@ -143,9 +178,10 @@ void write_json_report(std::ostream& os, const CampaignResult& result,
 }
 
 std::string json_report(const CampaignResult& result,
-                        std::size_t history_points) {
+                        std::size_t history_points,
+                        const CampaignSpec* spec) {
   std::ostringstream os;
-  write_json_report(os, result, history_points);
+  write_json_report(os, result, history_points, spec);
   return os.str();
 }
 

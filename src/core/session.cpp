@@ -1,0 +1,201 @@
+#include "core/session.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "core/campaign_scheduler.hpp"
+
+namespace specure::core {
+
+Session::Session(CampaignSpec spec)
+    : spec_((spec.validate(), std::move(spec))),
+      offline_(run_offline_phase(spec_.core, spec_.pdlc)),
+      sim_(spec_.core) {}
+
+Session& Session::on_progress(std::function<void(const ProgressEvent&)> fn) {
+  progress_observers_.push_back(std::move(fn));
+  return *this;
+}
+
+Session& Session::on_new_coverage(
+    std::function<void(const CoverageEvent&)> fn) {
+  coverage_observers_.push_back(std::move(fn));
+  return *this;
+}
+
+Session& Session::on_vuln(std::function<void(const VulnEvent&)> fn) {
+  vuln_observers_.push_back(std::move(fn));
+  return *this;
+}
+
+Session& Session::on_batch_merged(std::function<void(const BatchEvent&)> fn) {
+  batch_observers_.push_back(std::move(fn));
+  return *this;
+}
+
+Session& Session::add_stop(StopCondition fn) {
+  stops_.push_back(std::move(fn));
+  return *this;
+}
+
+Session::StopCondition Session::stop_after_iterations(std::uint64_t n) {
+  return [n](const CampaignResult& r) { return r.history.size() >= n; };
+}
+
+Session::StopCondition Session::stop_after_vulns(std::size_t n) {
+  return [n](const CampaignResult& r) { return r.vulns.size() >= n; };
+}
+
+Session::StopCondition Session::stop_on_finding(std::string key_substring) {
+  return [key = std::move(key_substring)](const CampaignResult& r) {
+    for (const auto& [finding, iteration] : r.first_detection) {
+      if (finding.find(key) != std::string::npos) return true;
+    }
+    return false;
+  };
+}
+
+void Session::set_iteration_budget(std::uint64_t iterations) {
+  spec_.budget.iterations = iterations;
+}
+
+std::size_t Session::resolved_jobs() const {
+  std::size_t jobs = spec_.jobs;
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  // More workers than in-flight jobs per batch would sit idle.
+  const std::size_t batch = spec_.batch_size == 0 ? 1 : spec_.batch_size;
+  return jobs < batch ? jobs : batch;
+}
+
+CampaignResult Session::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  const std::size_t jobs = resolved_jobs();
+  const std::size_t batch_size = spec_.batch_size == 0 ? 1 : spec_.batch_size;
+  const CampaignBudget& budget = spec_.budget;
+
+  CampaignScheduler scheduler(spec_.fuzzer, spec_.rng_seed,
+                              budget.iterations);
+  ResultMerger merger(offline_, sim_.signal_db(), spec_.feedback,
+                      spec_.lp_policy, spec_.mst_sample_rows);
+
+  // One simulator per worker, built on the first run() and reused across
+  // campaigns; unique_ptr keeps the simulators (and the internal
+  // references the LP prober and detector hold into them) at stable
+  // addresses.
+  if (workers_.empty()) {
+    workers_.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers_.push_back(std::make_unique<CampaignWorker>(
+          spec_.core, offline_, spec_.lp_policy, spec_.detector));
+    }
+    pool_ = std::make_unique<util::ThreadPool>(jobs);
+  }
+  util::ThreadPool& pool = *pool_;
+
+  // Plateau bookkeeping: the iteration at which the feedback metric (LP
+  // coverage under lp feedback, code-coverage points under codecov) last
+  // grew. Deterministic — it only depends on merged campaign state.
+  std::uint64_t last_gain_iteration = 0;
+  std::uint64_t last_progress = 0;
+  std::uint64_t batch_index = 0;
+
+  bool stopped = false;
+  std::vector<WorkerResult> results;
+  while (!stopped) {
+    const std::vector<fuzz::FuzzJob> batch = scheduler.next_batch(batch_size);
+    if (batch.empty()) break;
+
+    results.clear();
+    results.resize(batch.size());
+    // The merger is quiescent until the batch completes, so its covered
+    // bitmap is a stable read-only snapshot for every worker.
+    const std::vector<bool>& lp_covered = merger.lp_covered_mask();
+    pool.parallel_for(batch.size(), [&](std::size_t task, std::size_t ctx) {
+      results[task] = workers_[ctx]->process(batch[task], &lp_covered);
+    });
+
+    // Merge in iteration order; feedback earned here shapes the corpus the
+    // next batch is drawn from (batch-synchronous semantics). Observers
+    // fire here, on the merger thread, after each merged iteration.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const CampaignResult& live = merger.result();
+      const std::size_t prev_lp =
+          live.history.empty() ? 0 : live.history.back().covered_pdlc;
+      const std::size_t prev_points =
+          live.history.empty() ? 0 : live.history.back().coverage_points;
+      const std::size_t prev_vulns = live.vulns.size();
+
+      if (merger.merge(std::move(results[i]))) {
+        scheduler.feedback(batch[i].program, batch[i].iteration);
+      }
+
+      const CampaignResult& r = merger.result();
+      const IterationRecord& rec = r.history.back();
+
+      if (rec.covered_pdlc > prev_lp || rec.coverage_points > prev_points) {
+        const CoverageEvent event{rec.iteration,
+                                  rec.covered_pdlc - prev_lp,
+                                  rec.coverage_points - prev_points,
+                                  rec.covered_pdlc, rec.coverage_points};
+        for (const auto& fn : coverage_observers_) fn(event);
+      }
+      for (std::size_t v = prev_vulns; v < r.vulns.size(); ++v) {
+        const VulnEvent event{rec.iteration, r.vulns[v]};
+        for (const auto& fn : vuln_observers_) fn(event);
+      }
+      if (spec_.progress_interval != 0 &&
+          rec.iteration >= last_progress + spec_.progress_interval) {
+        last_progress = rec.iteration;
+        const ProgressEvent event{rec.iteration,     budget.iterations,
+                                  rec.covered_pdlc,  rec.coverage_points,
+                                  r.vulns.size(),    elapsed()};
+        for (const auto& fn : progress_observers_) fn(event);
+      }
+
+      // Budgets + custom stop conditions, all evaluated after the merge.
+      const std::size_t metric = spec_.feedback == FeedbackMode::kLeakagePath
+                                     ? rec.covered_pdlc
+                                     : rec.coverage_points;
+      const std::size_t prev_metric =
+          spec_.feedback == FeedbackMode::kLeakagePath ? prev_lp : prev_points;
+      if (metric > prev_metric) last_gain_iteration = rec.iteration;
+
+      if (budget.max_vulns != 0 && r.vulns.size() >= budget.max_vulns) {
+        stopped = true;
+      }
+      if (budget.plateau != 0 &&
+          rec.iteration - last_gain_iteration >= budget.plateau) {
+        stopped = true;
+      }
+      if (budget.max_seconds > 0 && elapsed() >= budget.max_seconds) {
+        stopped = true;
+      }
+      for (const StopCondition& stop : stops_) {
+        if (stopped) break;
+        if (stop(r)) stopped = true;
+      }
+      if (stopped) break;
+    }
+
+    if (!stopped) {  // a stop mid-batch leaves the batch partially merged
+      const BatchEvent event{batch_index++, batch.size(),
+                             merger.result().history.size()
+                                 ? merger.result().history.back().iteration
+                                 : 0,
+                             elapsed()};
+      for (const auto& fn : batch_observers_) fn(event);
+    }
+  }
+
+  CampaignResult result = merger.take_result();
+  result.seconds = elapsed();
+  return result;
+}
+
+}  // namespace specure::core

@@ -1,0 +1,133 @@
+// Session — the campaign facade over the scheduler → workers → merger
+// pipeline, driven by a declarative CampaignSpec.
+//
+// A Session replaces the old ad-hoc stop lambda with a typed event /
+// observer API and composable stop conditions:
+//
+//   Session session(CampaignSpec::preset("zenbleed"));
+//   session.on_vuln([](const VulnEvent& e) { ... })         // new finding
+//          .on_new_coverage([](const CoverageEvent& e) { ... })
+//          .on_progress([](const ProgressEvent& e) { ... }) // every N iters
+//          .on_batch_merged([](const BatchEvent& e) { ... })
+//          .add_stop(Session::stop_on_finding("core.rf."));
+//   CampaignResult result = session.run();
+//
+// Stop conditions compose: the spec's budgets (iteration cap, max_vulns,
+// max_seconds, coverage plateau) are enforced automatically, and every
+// condition added with add_stop() is OR-ed in. All observers run on the
+// merger thread, strictly in iteration order, after the iteration that
+// triggered them was merged — so the campaign state they see is exactly
+// the deterministic, thread-count-independent state of the batch
+// pipeline. Observers and deterministic stop conditions never perturb the
+// campaign result (the batch-determinism contract of core/specure.hpp
+// holds through this API; only max_seconds is inherently wall-clock).
+//
+// run() may be called repeatedly; each call is a fresh campaign from the
+// same spec (simulators and the thread pool are built once and reused).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/campaign_spec.hpp"
+#include "core/campaign_worker.hpp"
+#include "core/offline.hpp"
+#include "core/result_merger.hpp"
+#include "sim/core.hpp"
+#include "util/thread_pool.hpp"
+
+namespace specure::core {
+
+/// Periodic heartbeat, every CampaignSpec::progress_interval iterations.
+struct ProgressEvent {
+  std::uint64_t iteration = 0;         ///< merged iterations so far
+  std::uint64_t budget_iterations = 0; ///< the campaign's iteration budget
+  std::size_t covered_pdlc = 0;
+  std::size_t coverage_points = 0;
+  std::size_t vulns = 0;
+  double seconds = 0;                  ///< elapsed wall-clock
+};
+
+/// The just-merged iteration produced new coverage (either metric).
+struct CoverageEvent {
+  std::uint64_t iteration = 0;
+  std::size_t new_lp_channels = 0;      ///< LP channels first covered here
+  std::size_t new_coverage_points = 0;  ///< code-cov points first seen here
+  std::size_t covered_pdlc = 0;         ///< cumulative
+  std::size_t coverage_points = 0;      ///< cumulative
+};
+
+/// A new distinct finding (after merger deduplication).
+struct VulnEvent {
+  std::uint64_t iteration = 0;
+  const VulnReport& report;
+};
+
+/// A whole batch finished merging (corpus feedback is now applied).
+struct BatchEvent {
+  std::uint64_t batch_index = 0;        ///< 0-based
+  std::size_t batch_jobs = 0;           ///< jobs simulated in this batch
+  std::uint64_t merged_iterations = 0;  ///< campaign total so far
+  double seconds = 0;                   ///< elapsed wall-clock
+};
+
+class Session {
+ public:
+  /// A composable stop condition, evaluated after every merged iteration
+  /// (including mid-batch). Returning true ends the campaign.
+  using StopCondition = std::function<bool(const CampaignResult&)>;
+
+  /// Validates the spec (throws SpecError) and runs the offline phase.
+  explicit Session(CampaignSpec spec);
+
+  // Observers; all optional, chainable, may be registered repeatedly
+  // (every registered callback fires).
+  Session& on_progress(std::function<void(const ProgressEvent&)> fn);
+  Session& on_new_coverage(std::function<void(const CoverageEvent&)> fn);
+  Session& on_vuln(std::function<void(const VulnEvent&)> fn);
+  Session& on_batch_merged(std::function<void(const BatchEvent&)> fn);
+  Session& add_stop(StopCondition fn);
+
+  /// Ready-made stop conditions for add_stop().
+  static StopCondition stop_after_iterations(std::uint64_t n);
+  static StopCondition stop_after_vulns(std::size_t n);
+  /// Stop once any finding key contains `key_substring`.
+  static StopCondition stop_on_finding(std::string key_substring);
+
+  /// Override the spec's iteration budget for subsequent run() calls
+  /// (used by the deprecated SpecureEngine shim; prefer setting
+  /// spec.budget.iterations before constructing the Session).
+  void set_iteration_budget(std::uint64_t iterations);
+
+  /// Run one full campaign under the spec's budgets and the registered
+  /// stop conditions.
+  CampaignResult run();
+
+  const CampaignSpec& spec() const { return spec_; }
+  const OfflineResult& offline() const { return offline_; }
+  const sim::Simulator& simulator() const { return sim_; }
+
+  /// The worker count run() will actually use (resolves jobs == 0 and
+  /// clips to the batch size).
+  std::size_t resolved_jobs() const;
+
+ private:
+  CampaignSpec spec_;
+  OfflineResult offline_;
+  sim::Simulator sim_;
+  /// Worker pool, built lazily on the first run() and reused by later
+  /// campaigns (simulator construction is not free).
+  std::vector<std::unique_ptr<CampaignWorker>> workers_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::vector<std::function<void(const ProgressEvent&)>> progress_observers_;
+  std::vector<std::function<void(const CoverageEvent&)>> coverage_observers_;
+  std::vector<std::function<void(const VulnEvent&)>> vuln_observers_;
+  std::vector<std::function<void(const BatchEvent&)>> batch_observers_;
+  std::vector<StopCondition> stops_;
+};
+
+}  // namespace specure::core

@@ -1,83 +1,41 @@
 #include "core/specure.hpp"
 
-#include <chrono>
-#include <memory>
-#include <thread>
-
 namespace specure::core {
 
-SpecureEngine::SpecureEngine(const EngineOptions& options)
-    : options_(options),
-      offline_(run_offline_phase(options.core, options.pdlc)),
-      sim_(options.core) {}
+CampaignSpec EngineOptions::to_spec() const {
+  CampaignSpec spec;
+  spec.name = "engine-options";
+  spec.core = core;
+  spec.fuzzer = fuzzer;
+  spec.feedback = feedback;
+  spec.detector = detector;
+  spec.lp_policy = lp_policy;
+  spec.pdlc = pdlc;
+  spec.rng_seed = rng_seed;
+  spec.mst_sample_rows = mst_sample_rows;
+  spec.jobs = jobs;
+  // The old engine treated batch_size == 0 as 1; CampaignSpec::validate
+  // rejects 0, so coerce here to keep the shim's exact-behaviour promise.
+  spec.batch_size = batch_size == 0 ? 1 : batch_size;
+  return spec;
+}
 
-std::size_t SpecureEngine::resolved_jobs() const {
-  std::size_t jobs = options_.jobs;
-  if (jobs == 0) jobs = std::thread::hardware_concurrency();
-  if (jobs == 0) jobs = 1;
-  // More workers than in-flight jobs per batch would sit idle.
-  const std::size_t batch = options_.batch_size == 0 ? 1 : options_.batch_size;
-  return jobs < batch ? jobs : batch;
+SpecureEngine::SpecureEngine(const EngineOptions& options)
+    : session_(options.to_spec()) {
+  // One standing stop condition reads the per-run user callback, so
+  // repeated run() calls never stack conditions.
+  session_.add_stop([this](const CampaignResult& r) {
+    return user_stop_ != nullptr && user_stop_(r);
+  });
 }
 
 CampaignResult SpecureEngine::run(
     std::uint64_t iterations,
     const std::function<bool(const CampaignResult&)>& stop) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::size_t jobs = resolved_jobs();
-  const std::size_t batch_size =
-      options_.batch_size == 0 ? 1 : options_.batch_size;
-
-  CampaignScheduler scheduler(options_.fuzzer, options_.rng_seed, iterations);
-  ResultMerger merger(offline_, sim_.signal_db(), options_.feedback,
-                      options_.lp_policy, options_.mst_sample_rows);
-
-  // One simulator per worker, built on the first run() and reused across
-  // campaigns; unique_ptr keeps the simulators (and the internal
-  // references the LP prober and detector hold into them) at stable
-  // addresses.
-  if (workers_.empty()) {
-    workers_.reserve(jobs);
-    for (std::size_t w = 0; w < jobs; ++w) {
-      workers_.push_back(std::make_unique<CampaignWorker>(
-          options_.core, offline_, options_.lp_policy, options_.detector));
-    }
-    pool_ = std::make_unique<util::ThreadPool>(jobs);
-  }
-  util::ThreadPool& pool = *pool_;
-
-  bool stopped = false;
-  std::vector<WorkerResult> results;
-  while (!stopped) {
-    const std::vector<fuzz::FuzzJob> batch = scheduler.next_batch(batch_size);
-    if (batch.empty()) break;
-
-    results.clear();
-    results.resize(batch.size());
-    // The merger is quiescent until the batch completes, so its covered
-    // bitmap is a stable read-only snapshot for every worker.
-    const std::vector<bool>& lp_covered = merger.lp_covered_mask();
-    pool.parallel_for(batch.size(), [&](std::size_t task, std::size_t ctx) {
-      results[task] = workers_[ctx]->process(batch[task], &lp_covered);
-    });
-
-    // Merge in iteration order; feedback earned here shapes the corpus the
-    // next batch is drawn from (batch-synchronous semantics).
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (merger.merge(std::move(results[i]))) {
-        scheduler.feedback(batch[i].program, batch[i].iteration);
-      }
-      if (stop && stop(merger.result())) {
-        stopped = true;
-        break;
-      }
-    }
-  }
-
-  CampaignResult result = merger.take_result();
-  result.seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
+  session_.set_iteration_budget(iterations);
+  user_stop_ = stop;
+  CampaignResult result = session_.run();
+  user_stop_ = nullptr;
   return result;
 }
 

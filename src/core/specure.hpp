@@ -1,17 +1,19 @@
-// SpecureEngine: the Online Phase orchestrator (Figure 1), wiring the
-// Hardware Fuzzer, the Microarchitecture Visualizer (simulation +
-// snapshots), the Leakage Detector, the Vulnerability Detector and the
-// Coverage Calculator into one campaign loop.
+// SpecureEngine: the deprecated flat-options facade over the Online Phase
+// pipeline, kept as a thin shim for one release. New code should use the
+// declarative API instead:
 //
-// The engine supports both feedback modes compared in the paper's Figure 2
-// and §4.2: the novel Leakage Path coverage, and the traditional code
-// coverage (toggle/branch/FSM/condition) a TheHuzz-style fuzzer uses.
+//   core::CampaignSpec  — serializable scenario description + presets
+//                         (core/campaign_spec.hpp)
+//   core::Session       — event/observer facade over the pipeline
+//                         (core/session.hpp)
+//   core::Sweep         — multi-scenario comparison driver
+//                         (core/sweep.hpp)
 //
 // Parallel campaign architecture
 // ------------------------------
 // Each fuzzing iteration simulates one program on a cold core, which makes
-// the Online Phase embarrassingly parallel. run() is a three-layer
-// pipeline:
+// the Online Phase embarrassingly parallel. A campaign is a three-layer
+// pipeline (implemented in Session::run):
 //
 //   CampaignScheduler --> N x CampaignWorker --> ResultMerger
 //
@@ -27,27 +29,23 @@
 // merged, so corpus updates earned in batch k take effect in batch k+1.
 // Consequently a campaign with a fixed rng_seed and batch_size produces a
 // bit-identical CampaignResult regardless of `jobs` — thread count only
-// changes wall-clock time. batch_size == 1 (the default) degenerates to
-// the classic serial generate → simulate → feed-back loop and reproduces
-// the pre-pipeline engine's results exactly.
+// changes wall-clock time. batch_size == 1 degenerates to the classic
+// serial generate → simulate → feed-back loop and reproduces the
+// pre-pipeline engine's results exactly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/campaign_scheduler.hpp"
-#include "core/campaign_worker.hpp"
-#include "core/offline.hpp"
-#include "core/result_merger.hpp"
-#include "fuzz/corpus.hpp"
-#include "sim/core.hpp"
-#include "util/thread_pool.hpp"
+#include "core/session.hpp"
 
 namespace specure::core {
 
+/// DEPRECATED: flat option struct predating CampaignSpec. Kept as a shim
+/// for one release; use CampaignSpec (which adds presets, key=value
+/// overrides, TOML load/save and budgets) for new code.
 struct EngineOptions {
   sim::CoreConfig core;
   fuzz::FuzzerOptions fuzzer;
@@ -58,16 +56,25 @@ struct EngineOptions {
   std::uint64_t rng_seed = 1;
   std::size_t mst_sample_rows = 16;  ///< MST rows retained for reporting
 
-  /// Simulation worker count; 0 means std::thread::hardware_concurrency.
-  /// Never affects campaign results, only wall-clock time.
-  std::size_t jobs = 1;
+  /// Simulation worker count; 0 (the default, matching the CLI) means
+  /// std::thread::hardware_concurrency. Never affects campaign results,
+  /// only wall-clock time.
+  std::size_t jobs = 0;
   /// Jobs scheduled (and simulated concurrently) per batch. Corpus
   /// feedback earned in batch k takes effect in batch k+1, so raising the
   /// batch size trades feedback latency for parallelism. 1 reproduces the
   /// classic per-iteration feedback loop exactly.
   std::size_t batch_size = 1;
+
+  /// The equivalent declarative spec (every field copied; the spec's
+  /// budgets keep their defaults — SpecureEngine::run passes the
+  /// iteration budget explicitly).
+  CampaignSpec to_spec() const;
 };
 
+/// DEPRECATED: use core::Session. This shim forwards construction and
+/// run() onto a Session so old call sites keep the exact same behaviour
+/// (and determinism) through the new pipeline path.
 class SpecureEngine {
  public:
   explicit SpecureEngine(const EngineOptions& options);
@@ -79,20 +86,15 @@ class SpecureEngine {
                      const std::function<bool(const CampaignResult&)>& stop =
                          nullptr);
 
-  const OfflineResult& offline() const { return offline_; }
-  const sim::Simulator& simulator() const { return sim_; }
+  const OfflineResult& offline() const { return session_.offline(); }
+  const sim::Simulator& simulator() const { return session_.simulator(); }
 
   /// The worker count run() will actually use (resolves jobs == 0).
-  std::size_t resolved_jobs() const;
+  std::size_t resolved_jobs() const { return session_.resolved_jobs(); }
 
  private:
-  EngineOptions options_;
-  OfflineResult offline_;
-  sim::Simulator sim_;
-  /// Worker pool, built lazily on the first run() and reused by later
-  /// campaigns (simulator construction is not free).
-  std::vector<std::unique_ptr<CampaignWorker>> workers_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  Session session_;
+  std::function<bool(const CampaignResult&)> user_stop_;
 };
 
 }  // namespace specure::core

@@ -1,0 +1,71 @@
+// Sweep — run N campaign specs as one experiment and compare them.
+//
+// The paper's evaluation is a matrix of scenarios (LP vs code-coverage
+// feedback, emulations on/off, the no-speculation control, ...); a Sweep
+// makes such a matrix one call:
+//
+//   Sweep sweep;
+//   sweep.add(CampaignSpec::preset("lp"));
+//   sweep.add(CampaignSpec::preset("codecov"));
+//   auto rows = sweep.run();             // scenarios run concurrently
+//   Sweep::write_table(std::cout, rows); // per-scenario comparison
+//
+// Scenarios are distributed over one shared util::ThreadPool; each
+// scenario's own simulation workers are scaled down so the machine is not
+// oversubscribed. That rescaling never touches results: a campaign's
+// outcome is independent of its worker count (the batch-determinism
+// contract), so a sweep row is bit-identical to running its spec alone.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/campaign_spec.hpp"
+#include "core/result_merger.hpp"
+
+namespace specure::core {
+
+/// One scenario's outcome. When `error` is non-empty the scenario failed
+/// (invalid spec, exception mid-campaign) and `result` is empty; the
+/// other scenarios still run to completion.
+struct SweepOutcome {
+  CampaignSpec spec;
+  CampaignResult result;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+class Sweep {
+ public:
+  /// Called (serialized, from the finishing worker) as each scenario
+  /// completes; `index` is the add() position.
+  using Observer = std::function<void(std::size_t index, const SweepOutcome&)>;
+
+  Sweep& add(CampaignSpec spec);
+  std::size_t size() const { return specs_.size(); }
+
+  Sweep& on_scenario_done(Observer fn);
+
+  /// Run every scenario; `concurrency` caps how many run at once
+  /// (0 = min(hardware threads, scenario count)). Outcomes are returned
+  /// in add() order regardless of completion order.
+  std::vector<SweepOutcome> run(std::size_t concurrency = 0);
+
+  /// Fixed-width per-scenario comparison (coverage, vulns, iters/sec).
+  static void write_table(std::ostream& os,
+                          const std::vector<SweepOutcome>& rows);
+  /// JSON array of scenarios, each with its resolved spec echo and the
+  /// campaign summary numbers.
+  static void write_json(std::ostream& os,
+                         const std::vector<SweepOutcome>& rows);
+
+ private:
+  std::vector<CampaignSpec> specs_;
+  Observer done_;
+};
+
+}  // namespace specure::core

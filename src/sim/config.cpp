@@ -1,0 +1,105 @@
+#include "sim/config.hpp"
+
+namespace specure::sim {
+
+namespace {
+
+bool power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+struct CorePreset {
+  const char* name;
+  CoreConfig (*make)();
+};
+
+const CorePreset kCorePresets[] = {
+    {"default", [] { return CoreConfig{}; }},
+    {"no-spec", [] { return no_speculation_config(); }},
+    {"mwait",
+     [] {
+       CoreConfig cfg;
+       cfg.vuln.mwait_emulation = true;
+       return cfg;
+     }},
+    {"zenbleed",
+     [] {
+       CoreConfig cfg;
+       cfg.vuln.zenbleed_emulation = true;
+       return cfg;
+     }},
+    {"full",
+     [] {
+       CoreConfig cfg;
+       cfg.vuln.mwait_emulation = true;
+       cfg.vuln.zenbleed_emulation = true;
+       return cfg;
+     }},
+};
+
+}  // namespace
+
+std::vector<std::string> validate_config(const CoreConfig& cfg) {
+  std::vector<std::string> problems;
+  const auto bad = [&](std::string msg) { problems.push_back(std::move(msg)); };
+
+  if (cfg.rob_entries < 2) {
+    bad("rob_entries must be >= 2 (got " + std::to_string(cfg.rob_entries) +
+        "); a 1-entry ROB cannot hold an unresolved branch plus a younger "
+        "instruction, so nothing speculative ever executes");
+  }
+  if (cfg.phys_regs < 40) {
+    bad("phys_regs must be >= 40 (got " + std::to_string(cfg.phys_regs) +
+        "); 32 physical registers back the architectural file and rename "
+        "needs headroom beyond that");
+  }
+  if (cfg.retire_width == 0) bad("retire_width must be >= 1 (got 0)");
+  if (cfg.branch_resolve_latency == 0) {
+    bad("branch_resolve_latency must be >= 1 (got 0); branches cannot "
+        "resolve before they issue");
+  }
+  if (cfg.jalr_resolve_latency == 0) {
+    bad("jalr_resolve_latency must be >= 1 (got 0)");
+  }
+  if (!power_of_two(cfg.dcache_line_bytes) || cfg.dcache_line_bytes < 8) {
+    bad("dcache_line_bytes must be a power of two >= 8 (got " +
+        std::to_string(cfg.dcache_line_bytes) +
+        "); line masks assume power-of-two lines of at least one "
+        "64-bit word");
+  }
+  if (cfg.dcache_sets == 0) bad("dcache_sets must be >= 1 (got 0)");
+  if (cfg.dcache_ways == 0) bad("dcache_ways must be >= 1 (got 0)");
+  if (cfg.pht_entries == 0) bad("pht_entries must be >= 1 (got 0)");
+  if (cfg.btb_entries == 0) bad("btb_entries must be >= 1 (got 0)");
+  if (cfg.ras_entries == 0) bad("ras_entries must be >= 1 (got 0)");
+  if (cfg.ghist_bits > 32) {
+    bad("ghist_bits must be <= 32 (got " + std::to_string(cfg.ghist_bits) +
+        ")");
+  }
+  if (cfg.tlb_entries == 0) bad("tlb_entries must be >= 1 (got 0)");
+  if (cfg.page_bits < 4 || cfg.page_bits > 30) {
+    bad("page_bits must be in [4, 30] (got " + std::to_string(cfg.page_bits) +
+        ")");
+  }
+  if (cfg.max_cycles < 64) {
+    bad("max_cycles must be >= 64 (got " + std::to_string(cfg.max_cycles) +
+        "); shorter runs cannot even drain the pipeline");
+  }
+  return problems;
+}
+
+bool lookup_core_preset(std::string_view name, CoreConfig& out) {
+  for (const CorePreset& p : kCorePresets) {
+    if (name == p.name) {
+      out = p.make();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> core_preset_names() {
+  std::vector<std::string> names;
+  for (const CorePreset& p : kCorePresets) names.emplace_back(p.name);
+  return names;
+}
+
+}  // namespace specure::sim

@@ -5,6 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace specure::sim {
 
@@ -69,5 +72,18 @@ inline CoreConfig no_speculation_config() {
   cfg.jalr_resolve_latency = 1;
   return cfg;
 }
+
+/// Validate the microarchitectural parameters against what the model
+/// actually supports. Returns one actionable message per problem; empty
+/// means the configuration is usable. (The campaign-spec layer folds these
+/// into CampaignSpec::validate.)
+std::vector<std::string> validate_config(const CoreConfig& cfg);
+
+/// Core-level preset registry ("default", "no-spec", "mwait", "zenbleed",
+/// "full"). Returns false when `name` is unknown, leaving `out` untouched.
+bool lookup_core_preset(std::string_view name, CoreConfig& out);
+
+/// Names accepted by lookup_core_preset, in registry order.
+std::vector<std::string> core_preset_names();
 
 }  // namespace specure::sim

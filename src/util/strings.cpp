@@ -1,5 +1,6 @@
 #include "util/strings.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 namespace specure::util {
@@ -55,6 +56,37 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     out += parts[i];
   }
   return out;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] != b[j - 1]);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string closest_match(std::string_view needle,
+                          const std::vector<std::string>& candidates) {
+  const std::size_t cutoff =
+      std::max<std::size_t>(2, needle.size() / 3);
+  std::size_t best = cutoff + 1;
+  std::string match;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(needle, c);
+    if (d < best) {
+      best = d;
+      match = c;
+    }
+  }
+  return match;
 }
 
 }  // namespace specure::util

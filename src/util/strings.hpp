@@ -25,4 +25,13 @@ std::string hex0x(std::uint64_t value, unsigned digits = 0);
 /// Join parts with a separator.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Levenshtein edit distance (insert/delete/substitute, all cost 1).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// Closest candidate to `needle` by edit distance, or "" when nothing is
+/// plausibly close (distance > max(2, needle.size()/3)). Used for the
+/// "did you mean" hints in the CLI and the spec override parser.
+std::string closest_match(std::string_view needle,
+                          const std::vector<std::string>& candidates);
+
 }  // namespace specure::util

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "core/report.hpp"
 
@@ -98,6 +100,82 @@ TEST(Report, JsonEscaping) {
   EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(json_escape("a\nb"), "a\\nb");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Report, TextEchoesTheScenario) {
+  CampaignSpec spec = CampaignSpec::preset("zenbleed");
+  spec.rng_seed = 77;
+  std::ostringstream os;
+  write_text_report(os, sample_result(), &spec);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("scenario:              zenbleed"), std::string::npos);
+  EXPECT_NE(text.find("feedback:              lp"), std::string::npos);
+  EXPECT_NE(text.find("rng seed:              77"), std::string::npos);
+  EXPECT_NE(text.find("zenbleed=on"), std::string::npos);
+}
+
+// Minimal scanner for the flat {"key": value, ...} spec object the
+// report embeds (no nested objects inside it, by construction).
+std::vector<std::pair<std::string, std::string>> parse_flat_object(
+    const std::string& object) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while ((pos = object.find('"', pos)) != std::string::npos) {
+    const std::size_t key_end = object.find('"', pos + 1);
+    const std::string key = object.substr(pos + 1, key_end - pos - 1);
+    std::size_t value_begin = object.find(':', key_end) + 1;
+    while (object[value_begin] == ' ') ++value_begin;
+    std::size_t value_end;
+    if (object[value_begin] == '"') {
+      value_end = object.find('"', value_begin + 1) + 1;
+      out.emplace_back(key, object.substr(value_begin + 1,
+                                          value_end - value_begin - 2));
+    } else {
+      value_end = object.find_first_of(",}", value_begin);
+      out.emplace_back(key, object.substr(value_begin,
+                                          value_end - value_begin));
+    }
+    pos = value_end;
+  }
+  return out;
+}
+
+TEST(Report, JsonSpecEchoRoundTripsIntoAnEqualSpec) {
+  CampaignSpec spec = CampaignSpec::preset("cache-monitor");
+  spec.set("rob_entries", "32");
+  spec.rng_seed = 123;
+  spec.budget.iterations = 20;
+
+  const CampaignResult result = sample_result();
+  const std::string json = json_report(result, 64, &spec);
+
+  // Extract the flat "spec" object.
+  const std::size_t begin = json.find("\"spec\": {");
+  ASSERT_NE(begin, std::string::npos);
+  const std::size_t open = json.find('{', begin);
+  const std::size_t close = json.find('}', open);
+  const std::string object = json.substr(open, close - open + 1);
+
+  // Re-applying every echoed key yields the original spec.
+  CampaignSpec rebuilt;
+  for (const auto& [key, value] : parse_flat_object(object)) {
+    rebuilt.set(key, value);
+  }
+  EXPECT_TRUE(rebuilt == spec);
+  EXPECT_EQ(rebuilt.core.rob_entries, 32u);
+  EXPECT_EQ(rebuilt.rng_seed, 123u);
+  EXPECT_TRUE(rebuilt.detector.monitor_cache);
+
+  // The result fields still match the campaign that was reported.
+  EXPECT_NE(json.find("\"iterations\": " +
+                      std::to_string(result.history.size())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pdlc_total\": " +
+                      std::to_string(result.pdlc_total)),
+            std::string::npos);
+
+  // Without a spec the report omits the echo (back-compat schema).
+  EXPECT_EQ(json_report(result).find("\"spec\""), std::string::npos);
 }
 
 TEST(Report, EmptyCampaign) {

@@ -1,0 +1,128 @@
+// Sweep coverage: N scenarios running concurrently over one shared
+// thread pool produce exactly the results each spec produces alone
+// (scenario-level parallelism is invisible to campaign outcomes), errors
+// are captured per row without sinking the sweep, and the comparison
+// renderers emit well-formed output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/session.hpp"
+#include "core/sweep.hpp"
+
+namespace specure::core {
+namespace {
+
+CampaignSpec sweep_spec(const char* preset, std::uint64_t iterations,
+                        std::uint64_t seed) {
+  CampaignSpec spec = CampaignSpec::preset(preset);
+  spec.rng_seed = seed;
+  spec.batch_size = 8;
+  spec.budget.iterations = iterations;
+  return spec;
+}
+
+TEST(Sweep, TwoPresetsConcurrentlyMatchSoloRuns) {
+  Sweep sweep;
+  sweep.add(sweep_spec("lp", 40, 9));
+  sweep.add(sweep_spec("codecov", 40, 9));
+
+  std::size_t done_calls = 0;
+  sweep.on_scenario_done(
+      [&](std::size_t index, const SweepOutcome& row) {
+        ++done_calls;
+        EXPECT_LT(index, 2u);
+        EXPECT_TRUE(row.ok());
+      });
+  const auto rows = sweep.run(2);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(done_calls, 2u);
+  EXPECT_EQ(rows[0].spec.name, "lp");
+  EXPECT_EQ(rows[1].spec.name, "codecov");
+
+  for (const SweepOutcome& row : rows) {
+    ASSERT_TRUE(row.ok()) << row.error;
+    ASSERT_EQ(row.result.history.size(), 40u);
+    // A sweep row is bit-identical to running its spec alone.
+    const CampaignResult solo = Session(row.spec).run();
+    EXPECT_EQ(row.result.history.back().covered_pdlc,
+              solo.history.back().covered_pdlc);
+    EXPECT_EQ(row.result.history.back().coverage_points,
+              solo.history.back().coverage_points);
+    EXPECT_EQ(row.result.first_detection, solo.first_detection);
+    EXPECT_EQ(row.result.total_windows, solo.total_windows);
+  }
+  // The two feedback modes really ran as different scenarios.
+  EXPECT_EQ(rows[0].spec.feedback, FeedbackMode::kLeakagePath);
+  EXPECT_EQ(rows[1].spec.feedback, FeedbackMode::kCodeCoverage);
+}
+
+TEST(Sweep, InvalidScenarioFailsItsRowOnly) {
+  Sweep sweep;
+  sweep.add(sweep_spec("default", 20, 1));
+  CampaignSpec broken = sweep_spec("default", 20, 1);
+  broken.name = "broken";
+  broken.core.dcache_line_bytes = 12;  // fails validation inside Session
+  sweep.add(broken);
+
+  const auto rows = sweep.run();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].ok());
+  EXPECT_EQ(rows[0].result.history.size(), 20u);
+  ASSERT_FALSE(rows[1].ok());
+  EXPECT_NE(rows[1].error.find("power of two"), std::string::npos)
+      << rows[1].error;
+}
+
+TEST(Sweep, TableListsEveryScenario) {
+  Sweep sweep;
+  sweep.add(sweep_spec("lp", 20, 2));
+  sweep.add(sweep_spec("no-spec", 20, 2));
+  const auto rows = sweep.run();
+
+  std::ostringstream os;
+  Sweep::write_table(os, rows);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("scenario"), std::string::npos);
+  EXPECT_NE(table.find("iters/sec"), std::string::npos);
+  EXPECT_NE(table.find("lp"), std::string::npos);
+  EXPECT_NE(table.find("no-spec"), std::string::npos);
+  // The no-speculation control must report zero findings.
+  EXPECT_TRUE(rows[1].result.vulns.empty());
+}
+
+TEST(Sweep, JsonIsBalancedAndCarriesSpecs) {
+  Sweep sweep;
+  sweep.add(sweep_spec("lp", 10, 3));
+  sweep.add(sweep_spec("codecov", 10, 3));
+  const auto rows = sweep.run();
+
+  std::ostringstream os;
+  Sweep::write_json(os, rows);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"scenarios\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"lp\""), std::string::npos);
+  EXPECT_NE(json.find("\"feedback\": \"codecov\""), std::string::npos);
+  EXPECT_NE(json.find("\"spec\": {"), std::string::npos);
+
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Sweep, EmptySweepIsANoOp) {
+  Sweep sweep;
+  EXPECT_TRUE(sweep.run().empty());
+}
+
+}  // namespace
+}  // namespace specure::core

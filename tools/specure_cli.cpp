@@ -1,20 +1,31 @@
 // specure — command-line driver for the library.
 //
 // Subcommands:
+//   specure run [SPEC.toml] [--preset NAME] [key=value ...]
+//       Run one campaign from a spec file or a named preset, with
+//       key=value overrides (e.g. rob_entries=32 feedback=codecov).
+//       --iters/--seed are sugar for iterations=/seed=. --save FILE
+//       writes the resolved spec; --dry-run prints it and exits; --json
+//       FILE writes the JSON report (spec embedded). Exits 2 on findings.
+//   specure sweep --preset A --preset B ... [--spec FILE ...] [key=value ...]
+//       Run several scenarios concurrently and print a comparison table
+//       (coverage, vulns, iters/sec). Overrides apply to every scenario.
+//   specure presets [--keys]
+//       List the named scenario presets (and, with --keys, every
+//       key=value override the spec layer accepts).
+//   specure fuzz [--iters N] [--seed S] ...   (deprecated: use `run`)
+//       The pre-spec flat-flag interface, kept for one release.
 //   specure offline [--mwait] [--zenbleed] [--dot FILE] [--verilog FILE]
-//       Run the offline phase on MiniBOOM; print IFG/PDLC statistics,
-//       optionally dump the IFG as Graphviz and the structural Verilog.
-//   specure fuzz [--iters N] [--seed S] [--mwait] [--zenbleed]
-//                [--monitor-cache] [--feedback lp|codecov]
-//                [--jobs N] [--batch B] [--stop-after-vulns K]
-//                [--json FILE] [--no-special-seeds] [--quiet]
-//       Run a fuzzing campaign and print the text report (JSON optional).
-//       --jobs 0 (the default) uses every hardware thread; results are
-//       identical for any --jobs value at a fixed --batch.
+//       Run the offline phase on MiniBOOM; print IFG/PDLC statistics.
 //   specure audit FILE.v --top MODULE [--dot FILE]
 //       Offline phase over external Verilog: list every PDLC.
 //   specure disasm HEXWORD [PC]
-//       Decode one instruction word (e.g. specure disasm FBEC52E3).
+//       Decode one instruction word.
+//
+// Unknown flags, subcommands, spec keys and preset names are rejected
+// with a non-zero exit and a "did you mean" hint — nothing is silently
+// ignored. Usage errors exit 64; runtime failures exit 1; campaigns that
+// found vulnerabilities exit 2 (for CI).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,16 +35,34 @@
 
 #include "core/offline.hpp"
 #include "core/report.hpp"
+#include "core/session.hpp"
 #include "core/specure.hpp"
+#include "core/sweep.hpp"
 #include "riscv/disasm.hpp"
 #include "sim/structure.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
 using namespace specure;
 
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitFindings = 2;
+constexpr int kExitUsage = 64;
+
+// ------------------------------------------------------------ option parser --
+
+struct FlagDef {
+  const char* name;
+  bool takes_value;
+  const char* help;
+  bool repeatable = false;  ///< may appear more than once (sweep scenarios)
+};
+
 struct Args {
-  std::vector<std::string> positional;
+  std::vector<std::string> positional;  ///< non-flag, non-override tokens
+  std::vector<std::string> overrides;   ///< key=value tokens, in order
   std::vector<std::pair<std::string, std::string>> options;
 
   bool has(const std::string& flag) const {
@@ -42,46 +71,328 @@ struct Args {
     }
     return false;
   }
-  std::string get(const std::string& flag, const std::string& fallback = "") const {
+  std::string get(const std::string& flag,
+                  const std::string& fallback = "") const {
     for (const auto& [k, v] : options) {
       if (k == flag) return v;
     }
     return fallback;
   }
+  std::vector<std::string> get_all(const std::string& flag) const {
+    std::vector<std::string> values;
+    for (const auto& [k, v] : options) {
+      if (k == flag) values.push_back(v);
+    }
+    return values;
+  }
 };
 
-Args parse_args(int argc, char** argv, int first) {
-  Args args;
+/// Parse argv[first..) against the command's flag table. Returns false
+/// (after printing the error and hint) on unknown flags or missing
+/// values. `allow_overrides` routes bare key=value tokens to overrides.
+bool parse_args(int argc, char** argv, int first,
+                const std::vector<FlagDef>& flags, bool allow_overrides,
+                Args& args) {
   for (int i = first; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
-      // Flags taking a value consume the next token when present and not
-      // itself a flag.
-      std::string value;
-      static const char* kValueFlags[] = {
-          "--dot",  "--verilog", "--iters", "--seed",
-          "--json", "--top",     "--feedback", "--jobs",
-          "--batch", "--stop-after-vulns"};
-      bool takes_value = false;
-      for (const char* f : kValueFlags) takes_value |= a == f;
-      if (takes_value && i + 1 < argc) value = argv[++i];
-      args.options.emplace_back(a, value);
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      if (allow_overrides && token.find('=') != std::string::npos) {
+        args.overrides.push_back(token);
+      } else {
+        args.positional.push_back(token);
+      }
+      continue;
+    }
+    // --flag or --flag=value
+    std::string name = token;
+    std::string inline_value;
+    bool has_inline = false;
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inline_value = token.substr(eq + 1);
+      has_inline = true;
+    }
+    const FlagDef* def = nullptr;
+    for (const FlagDef& f : flags) {
+      if (name == f.name) def = &f;
+    }
+    if (def == nullptr) {
+      std::string msg = "unknown flag '" + name + "'";
+      std::vector<std::string> names;
+      for (const FlagDef& f : flags) names.emplace_back(f.name);
+      const std::string hint = util::closest_match(name, names);
+      if (!hint.empty()) msg += " — did you mean '" + hint + "'?";
+      std::fprintf(stderr, "specure: %s\n", msg.c_str());
+      return false;
+    }
+    if (!def->repeatable && args.has(name)) {
+      std::fprintf(stderr,
+                   "specure: flag '%s' given more than once\n", name.c_str());
+      return false;
+    }
+    if (def->takes_value) {
+      if (has_inline) {
+        args.options.emplace_back(name, inline_value);
+      } else if (i + 1 < argc) {
+        args.options.emplace_back(name, argv[++i]);
+      } else {
+        std::fprintf(stderr, "specure: flag '%s' needs a value (%s)\n",
+                     name.c_str(), def->help);
+        return false;
+      }
     } else {
-      args.positional.push_back(a);
+      if (has_inline) {
+        std::fprintf(stderr, "specure: flag '%s' takes no value\n",
+                     name.c_str());
+        return false;
+      }
+      args.options.emplace_back(name, "");
     }
   }
-  return args;
+  return true;
 }
 
-sim::CoreConfig config_from(const Args& args) {
+// ------------------------------------------------------------- spec helpers --
+
+/// Apply the --iters/--seed sugar plus every key=value override, in order.
+void apply_common_overrides(core::CampaignSpec& spec, const Args& args) {
+  if (args.has("--iters")) spec.set("iterations", args.get("--iters"));
+  if (args.has("--seed")) spec.set("seed", args.get("--seed"));
+  if (args.has("--jobs")) spec.set("jobs", args.get("--jobs"));
+  if (args.has("--batch")) spec.set("batch", args.get("--batch"));
+  for (const std::string& assignment : args.overrides) {
+    spec.apply_override(assignment);
+  }
+}
+
+/// Attach the standard progress/vuln stderr feed to a session.
+void attach_console_observers(core::Session& session, bool quiet) {
+  if (quiet) return;
+  session.on_progress([](const core::ProgressEvent& e) {
+    std::fprintf(stderr,
+                 "[specure] iter %llu/%llu  lp=%zu  cov=%zu  vulns=%zu\n",
+                 static_cast<unsigned long long>(e.iteration),
+                 static_cast<unsigned long long>(e.budget_iterations),
+                 e.covered_pdlc, e.coverage_points, e.vulns);
+  });
+  session.on_vuln([](const core::VulnEvent& e) {
+    std::fprintf(stderr, "[specure] new finding at iteration %llu: %s\n",
+                 static_cast<unsigned long long>(e.iteration),
+                 core::finding_key(e.report).c_str());
+  });
+}
+
+/// Shared tail of run/fuzz: text report, optional JSON, exit code.
+int report_and_exit_code(const core::CampaignResult& result,
+                         const core::CampaignSpec& spec,
+                         const core::Session& session, const Args& args) {
+  core::write_text_report(std::cout, result, &spec);
+  std::printf("\n(jobs: %zu, batch size: %zu)\n", session.resolved_jobs(),
+              spec.batch_size);
+  if (args.has("--json")) {
+    std::ofstream json(args.get("--json"));
+    if (!json) {
+      std::fprintf(stderr, "specure: cannot open %s\n",
+                   args.get("--json").c_str());
+      return kExitError;
+    }
+    core::write_json_report(json, result, 64, &spec);
+    std::printf("\nJSON report written to %s\n", args.get("--json").c_str());
+  }
+  return result.vulns.empty() ? kExitOk : kExitFindings;
+}
+
+// ---------------------------------------------------------------- commands --
+
+const std::vector<FlagDef> kRunFlags = {
+    {"--preset", true, "named scenario preset (see `specure presets`)"},
+    {"--iters", true, "iteration budget (sugar for iterations=N)"},
+    {"--seed", true, "campaign RNG seed (sugar for seed=S)"},
+    {"--jobs", true, "worker threads, 0 = all hardware (sugar for jobs=N)"},
+    {"--batch", true, "batch size (sugar for batch=B)"},
+    {"--json", true, "write the JSON report (spec embedded) to FILE"},
+    {"--save", true, "write the resolved spec as TOML to FILE"},
+    {"--dry-run", false, "print the resolved spec and exit"},
+    {"--quiet", false, "suppress the progress/finding feed"},
+};
+
+int cmd_run(const Args& args) {
+  if (args.positional.size() > 1) {
+    std::fprintf(stderr, "specure: run takes at most one spec file, got %zu\n",
+                 args.positional.size());
+    return kExitUsage;
+  }
+  if (!args.positional.empty() && args.has("--preset")) {
+    std::fprintf(stderr,
+                 "specure: give either a spec file or --preset, not both\n");
+    return kExitUsage;
+  }
+  core::CampaignSpec spec =
+      !args.positional.empty() ? core::CampaignSpec::load(args.positional[0])
+      : args.has("--preset")   ? core::CampaignSpec::preset(args.get("--preset"))
+                               : core::CampaignSpec{};
+  apply_common_overrides(spec, args);
+  spec.validate();
+
+  if (args.has("--save")) {
+    spec.save(args.get("--save"));
+    std::printf("spec written to %s\n", args.get("--save").c_str());
+  }
+  if (args.has("--dry-run")) {
+    std::fputs(spec.to_toml().c_str(), stdout);
+    return kExitOk;
+  }
+
+  core::Session session(spec);
+  attach_console_observers(session, args.has("--quiet"));
+  const core::CampaignResult result = session.run();
+  return report_and_exit_code(result, spec, session, args);
+}
+
+const std::vector<FlagDef> kSweepFlags = {
+    {"--preset", true, "add a scenario by preset name (repeatable)", true},
+    {"--spec", true, "add a scenario from a TOML spec file (repeatable)", true},
+    {"--iters", true, "iteration budget applied to every scenario"},
+    {"--seed", true, "RNG seed applied to every scenario"},
+    {"--jobs", true, "simulation workers per scenario"},
+    {"--batch", true, "batch size applied to every scenario"},
+    {"--concurrency", true, "scenarios run at once (0 = hardware threads)"},
+    {"--json", true, "write the comparison as JSON to FILE"},
+    {"--quiet", false, "suppress the per-scenario completion feed"},
+};
+
+int cmd_sweep(const Args& args) {
+  core::Sweep sweep;
+  // Scenario order = command-line order across both flags.
+  for (const auto& [flag, value] : args.options) {
+    if (flag == "--preset") {
+      core::CampaignSpec spec = core::CampaignSpec::preset(value);
+      apply_common_overrides(spec, args);
+      spec.validate();
+      sweep.add(std::move(spec));
+    } else if (flag == "--spec") {
+      core::CampaignSpec spec = core::CampaignSpec::load(value);
+      apply_common_overrides(spec, args);
+      spec.validate();
+      sweep.add(std::move(spec));
+    }
+  }
+  if (sweep.size() == 0) {
+    std::fprintf(stderr,
+                 "specure: sweep needs at least one --preset or --spec\n");
+    return kExitUsage;
+  }
+  if (!args.has("--quiet")) {
+    const std::size_t total = sweep.size();
+    sweep.on_scenario_done([total](std::size_t index,
+                                   const core::SweepOutcome& row) {
+      if (row.ok()) {
+        std::fprintf(stderr, "[sweep] scenario %zu (%s) done: %zu iters, "
+                             "%zu vulns\n",
+                     index + 1, row.spec.name.c_str(),
+                     row.result.history.size(), row.result.vulns.size());
+      } else {
+        std::fprintf(stderr, "[sweep] scenario %zu (%s) FAILED: %s\n",
+                     index + 1, row.spec.name.c_str(), row.error.c_str());
+      }
+      (void)total;
+    });
+  }
+  const std::size_t concurrency = static_cast<std::size_t>(
+      std::strtoull(args.get("--concurrency", "0").c_str(), nullptr, 10));
+  const auto rows = sweep.run(concurrency);
+
+  std::printf("Specure sweep: %zu scenarios\n\n", rows.size());
+  core::Sweep::write_table(std::cout, rows);
+  if (args.has("--json")) {
+    std::ofstream json(args.get("--json"));
+    if (!json) {
+      std::fprintf(stderr, "specure: cannot open %s\n",
+                   args.get("--json").c_str());
+      return kExitError;
+    }
+    core::Sweep::write_json(json, rows);
+    std::printf("\nJSON comparison written to %s\n",
+                args.get("--json").c_str());
+  }
+  for (const auto& row : rows) {
+    if (!row.ok()) return kExitError;
+  }
+  return kExitOk;
+}
+
+const std::vector<FlagDef> kPresetsFlags = {
+    {"--keys", false, "also list every key=value override key"},
+};
+
+int cmd_presets(const Args& args) {
+  std::printf("Scenario presets (specure run --preset NAME):\n");
+  for (const core::PresetInfo& info : core::CampaignSpec::presets()) {
+    std::printf("  %-14s %s\n", info.name.c_str(), info.description.c_str());
+  }
+  if (args.has("--keys")) {
+    std::printf("\nOverride keys (key=value, e.g. rob_entries=32):\n");
+    core::CampaignSpec defaults;
+    for (const core::SpecField& f : defaults.fields()) {
+      std::printf("  %-28s default: %s\n", f.key.c_str(), f.value.c_str());
+    }
+  } else {
+    std::printf("\n(`specure presets --keys` lists the override keys)\n");
+  }
+  return kExitOk;
+}
+
+const std::vector<FlagDef> kFuzzFlags = {
+    {"--iters", true, "iteration budget"},
+    {"--seed", true, "campaign RNG seed"},
+    {"--mwait", false, "arm the (M)WAIT emulation"},
+    {"--zenbleed", false, "arm the Zenbleed emulation"},
+    {"--monitor-cache", false, "add the data cache to the monitored sinks"},
+    {"--feedback", true, "feedback mode: lp | codecov"},
+    {"--jobs", true, "worker threads, 0 = all hardware"},
+    {"--batch", true, "batch size"},
+    {"--stop-after-vulns", true, "stop after N distinct findings"},
+    {"--json", true, "write the JSON report to FILE"},
+    {"--no-special-seeds", false, "disable the §3.2 transient-window seeds"},
+    {"--quiet", false, "suppress the progress feed"},
+};
+
+int cmd_fuzz(const Args& args) {
+  std::fprintf(stderr,
+               "note: `specure fuzz` is deprecated; use `specure run` "
+               "(same behaviour, declarative specs)\n");
+  core::CampaignSpec spec;
+  spec.name = "fuzz";
+  spec.budget.iterations = 1000;
+  spec.core.vuln.mwait_emulation = args.has("--mwait");
+  spec.core.vuln.zenbleed_emulation = args.has("--zenbleed");
+  spec.detector.monitor_cache = args.has("--monitor-cache");
+  spec.fuzzer.use_special_seeds = !args.has("--no-special-seeds");
+  if (args.has("--feedback")) spec.set("feedback", args.get("--feedback"));
+  if (args.has("--stop-after-vulns")) {
+    spec.set("max_vulns", args.get("--stop-after-vulns"));
+  }
+  apply_common_overrides(spec, args);
+  spec.validate();
+
+  core::Session session(spec);
+  attach_console_observers(session, args.has("--quiet"));
+  const core::CampaignResult result = session.run();
+  return report_and_exit_code(result, spec, session, args);
+}
+
+const std::vector<FlagDef> kOfflineFlags = {
+    {"--mwait", false, "arm the (M)WAIT emulation"},
+    {"--zenbleed", false, "arm the Zenbleed emulation"},
+    {"--dot", true, "dump the IFG as Graphviz to FILE"},
+    {"--verilog", true, "dump the structural Verilog to FILE"},
+};
+
+int cmd_offline(const Args& args) {
   sim::CoreConfig cfg;
   cfg.vuln.mwait_emulation = args.has("--mwait");
   cfg.vuln.zenbleed_emulation = args.has("--zenbleed");
-  return cfg;
-}
-
-int cmd_offline(const Args& args) {
-  const sim::CoreConfig cfg = config_from(args);
   const core::OfflineResult off = core::run_offline_phase(cfg);
   std::printf("IFG: %zu signals, %zu flow edges (%.4fs)\n",
               off.ifg.node_count(), off.ifg.edge_count(), off.ifg_seconds);
@@ -90,8 +401,9 @@ int cmd_offline(const Args& args) {
   if (args.has("--dot")) {
     std::ofstream dot(args.get("--dot"));
     if (!dot) {
-      std::fprintf(stderr, "cannot open %s\n", args.get("--dot").c_str());
-      return 1;
+      std::fprintf(stderr, "specure: cannot open %s\n",
+                   args.get("--dot").c_str());
+      return kExitError;
     }
     off.ifg.write_dot(dot);
     std::printf("IFG written to %s\n", args.get("--dot").c_str());
@@ -99,79 +411,32 @@ int cmd_offline(const Args& args) {
   if (args.has("--verilog")) {
     std::ofstream v(args.get("--verilog"));
     if (!v) {
-      std::fprintf(stderr, "cannot open %s\n", args.get("--verilog").c_str());
-      return 1;
+      std::fprintf(stderr, "specure: cannot open %s\n",
+                   args.get("--verilog").c_str());
+      return kExitError;
     }
     v << sim::emit_structural_verilog(cfg);
     std::printf("structural Verilog written to %s\n",
                 args.get("--verilog").c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
-int cmd_fuzz(const Args& args) {
-  core::EngineOptions opts;
-  opts.core = config_from(args);
-  opts.detector.monitor_cache = args.has("--monitor-cache");
-  opts.rng_seed = std::strtoull(args.get("--seed", "1").c_str(), nullptr, 10);
-  opts.fuzzer.use_special_seeds = !args.has("--no-special-seeds");
-  if (args.get("--feedback", "lp") == "codecov") {
-    opts.feedback = core::FeedbackMode::kCodeCoverage;
-  }
-  const std::uint64_t iters =
-      std::strtoull(args.get("--iters", "1000").c_str(), nullptr, 10);
-  // 0 = all hardware threads. The batch size is fixed independently of the
-  // worker count so results only depend on --seed and --batch, never on
-  // --jobs (see core/specure.hpp's determinism contract).
-  opts.jobs = std::strtoull(args.get("--jobs", "0").c_str(), nullptr, 10);
-  opts.batch_size =
-      std::strtoull(args.get("--batch", "32").c_str(), nullptr, 10);
-  const std::uint64_t stop_after_vulns =
-      std::strtoull(args.get("--stop-after-vulns", "0").c_str(), nullptr, 10);
-  const bool quiet = args.has("--quiet");
-
-  core::SpecureEngine engine(opts);
-  std::uint64_t last_progress = 0;
-  const auto stop = [&](const core::CampaignResult& r) {
-    if (!quiet && r.history.size() >= last_progress + 500) {
-      last_progress = r.history.size();
-      std::fprintf(stderr,
-                   "[specure] iter %llu/%llu  lp=%zu  cov=%zu  vulns=%zu\n",
-                   static_cast<unsigned long long>(r.history.size()),
-                   static_cast<unsigned long long>(iters),
-                   r.history.empty() ? 0 : r.history.back().covered_pdlc,
-                   r.history.empty() ? 0 : r.history.back().coverage_points,
-                   r.vulns.size());
-    }
-    return stop_after_vulns > 0 && r.vulns.size() >= stop_after_vulns;
-  };
-  const core::CampaignResult result = engine.run(iters, stop);
-  // The report itself carries wall-clock and iterations/sec; the footer
-  // only adds the execution shape.
-  core::write_text_report(std::cout, result);
-  std::printf("\n(jobs: %zu, batch size: %zu)\n", engine.resolved_jobs(),
-              opts.batch_size);
-  if (args.has("--json")) {
-    std::ofstream json(args.get("--json"));
-    if (!json) {
-      std::fprintf(stderr, "cannot open %s\n", args.get("--json").c_str());
-      return 1;
-    }
-    core::write_json_report(json, result);
-    std::printf("\nJSON report written to %s\n", args.get("--json").c_str());
-  }
-  return result.vulns.empty() ? 0 : 2;  // non-zero exit on findings (CI)
-}
+const std::vector<FlagDef> kAuditFlags = {
+    {"--top", true, "top module name"},
+    {"--dot", true, "dump the IFG as Graphviz to FILE"},
+};
 
 int cmd_audit(const Args& args) {
   if (args.positional.empty() || !args.has("--top")) {
     std::fprintf(stderr, "usage: specure audit FILE.v --top MODULE\n");
-    return 1;
+    return kExitUsage;
   }
   std::ifstream in(args.positional[0]);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", args.positional[0].c_str());
-    return 1;
+    std::fprintf(stderr, "specure: cannot open %s\n",
+                 args.positional[0].c_str());
+    return kExitError;
   }
   std::string source((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
@@ -191,13 +456,13 @@ int cmd_audit(const Args& args) {
     std::ofstream dot(args.get("--dot"));
     off.ifg.write_dot(dot);
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_disasm(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr, "usage: specure disasm HEXWORD [PC]\n");
-    return 1;
+    return kExitUsage;
   }
   const std::uint32_t word = static_cast<std::uint32_t>(
       std::strtoull(args.positional[0].c_str(), nullptr, 16));
@@ -206,19 +471,47 @@ int cmd_disasm(const Args& args) {
           ? std::strtoull(args.positional[1].c_str(), nullptr, 16)
           : riscv::kCodeBase;
   std::printf("%08x: %s\n", word, riscv::disassemble(word, pc).c_str());
-  return 0;
+  return kExitOk;
+}
+
+// ------------------------------------------------------------------- main --
+
+struct CommandDef {
+  const char* name;
+  const std::vector<FlagDef>* flags;
+  bool allow_overrides;
+  int (*handler)(const Args&);
+};
+
+const std::vector<CommandDef>& commands() {
+  static const std::vector<CommandDef> kCommands = {
+      {"run", &kRunFlags, true, cmd_run},
+      {"sweep", &kSweepFlags, true, cmd_sweep},
+      {"presets", &kPresetsFlags, false, cmd_presets},
+      {"fuzz", &kFuzzFlags, true, cmd_fuzz},
+      {"offline", &kOfflineFlags, false, cmd_offline},
+      {"audit", &kAuditFlags, false, cmd_audit},
+      {"disasm", nullptr, false, cmd_disasm},
+  };
+  return kCommands;
 }
 
 void usage() {
-  std::fprintf(stderr,
-               "specure <offline|fuzz|audit|disasm> [options]\n"
-               "  offline [--mwait] [--zenbleed] [--dot F] [--verilog F]\n"
-               "  fuzz [--iters N] [--seed S] [--mwait] [--zenbleed]\n"
-               "       [--monitor-cache] [--feedback lp|codecov]\n"
-               "       [--jobs N] [--batch B] [--stop-after-vulns K]\n"
-               "       [--json F] [--no-special-seeds] [--quiet]\n"
-               "  audit FILE.v --top MODULE [--dot F]\n"
-               "  disasm HEXWORD [PC]\n");
+  std::fprintf(
+      stderr,
+      "specure <run|sweep|presets|fuzz|offline|audit|disasm> [options]\n"
+      "  run [SPEC.toml] [--preset NAME] [key=value ...] [--iters N]\n"
+      "      [--seed S] [--json F] [--save F] [--dry-run] [--quiet]\n"
+      "  sweep (--preset NAME | --spec FILE)... [key=value ...]\n"
+      "      [--iters N] [--seed S] [--concurrency N] [--json F] [--quiet]\n"
+      "  presets [--keys]\n"
+      "  fuzz [--iters N] [--seed S] [--mwait] [--zenbleed]\n"
+      "      [--monitor-cache] [--feedback lp|codecov] [--jobs N]\n"
+      "      [--batch B] [--stop-after-vulns K] [--json F]\n"
+      "      [--no-special-seeds] [--quiet]   (deprecated: use `run`)\n"
+      "  offline [--mwait] [--zenbleed] [--dot F] [--verilog F]\n"
+      "  audit FILE.v --top MODULE [--dot F]\n"
+      "  disasm HEXWORD [PC]\n");
 }
 
 }  // namespace
@@ -226,14 +519,37 @@ void usage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     usage();
-    return 1;
+    return kExitUsage;
   }
   const std::string cmd = argv[1];
-  const Args args = parse_args(argc, argv, 2);
-  if (cmd == "offline") return cmd_offline(args);
-  if (cmd == "fuzz") return cmd_fuzz(args);
-  if (cmd == "audit") return cmd_audit(args);
-  if (cmd == "disasm") return cmd_disasm(args);
-  usage();
-  return 1;
+  const CommandDef* def = nullptr;
+  for (const CommandDef& c : commands()) {
+    if (cmd == c.name) def = &c;
+  }
+  if (def == nullptr) {
+    std::string msg = "unknown command '" + cmd + "'";
+    std::vector<std::string> names;
+    for (const CommandDef& c : commands()) names.emplace_back(c.name);
+    const std::string hint = util::closest_match(cmd, names);
+    if (!hint.empty()) msg += " — did you mean '" + hint + "'?";
+    std::fprintf(stderr, "specure: %s\n", msg.c_str());
+    usage();
+    return kExitUsage;
+  }
+
+  Args args;
+  static const std::vector<FlagDef> kNoFlags;
+  if (!parse_args(argc, argv, 2, def->flags ? *def->flags : kNoFlags,
+                  def->allow_overrides, args)) {
+    return kExitUsage;
+  }
+  try {
+    return def->handler(args);
+  } catch (const core::SpecError& e) {
+    std::fprintf(stderr, "specure: %s\n", e.what());
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "specure: %s\n", e.what());
+    return kExitError;
+  }
 }
