@@ -48,15 +48,34 @@ void BM_SnapshotDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotDiff);
 
-void BM_TraceDeltasBuild(benchmark::State& state) {
+void BM_TraceWindowMask(benchmark::State& state) {
   util::Rng rng(3);
   const auto run = shared_simulator().run(riscv::random_program(rng, 96));
+  const auto windows = core::extract_mst(run.trace);
+  if (windows.empty()) {
+    state.SkipWithError("fixed seed produced no speculative window");
+    return;
+  }
+  std::size_t w = 0;
   for (auto _ : state) {
-    snapshot::TraceDeltas deltas(run.trace);
-    benchmark::DoNotOptimize(&deltas);
+    const auto& win = windows[w++ % windows.size()];
+    benchmark::DoNotOptimize(
+        run.trace.changed_mask(win.start_cycle, win.end_cycle).size());
   }
 }
-BENCHMARK(BM_TraceDeltasBuild);
+BENCHMARK(BM_TraceWindowMask);
+
+void BM_TraceMaterialize(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto run = shared_simulator().run(riscv::random_program(rng, 96));
+  std::uint64_t c = 1;
+  const std::uint64_t last = run.trace.cycle_at(run.trace.size() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run.trace.at_cycle(1 + (c * 37) % last));
+    ++c;
+  }
+}
+BENCHMARK(BM_TraceMaterialize);
 
 void BM_IfgBuild(benchmark::State& state) {
   const sim::CoreConfig cfg;
@@ -104,11 +123,10 @@ void BM_LpCoverageUpdate(benchmark::State& state) {
   util::Rng rng(6);
   const auto run = shared_simulator().run(riscv::random_program(rng, 96));
   const auto windows = core::extract_mst(run.trace);
-  const snapshot::TraceDeltas deltas(run.trace);
   for (auto _ : state) {
     core::LpCoverageMap lp(off.ifg, off.pdlc,
                            shared_simulator().signal_db());
-    benchmark::DoNotOptimize(lp.update(deltas, windows));
+    benchmark::DoNotOptimize(lp.update(run.trace, windows));
   }
 }
 BENCHMARK(BM_LpCoverageUpdate);

@@ -6,10 +6,24 @@
 // the final LP coverage) and only wall-clock throughput may differ. On a
 // machine with fewer hardware threads than a row's worker count the extra
 // workers just time-slice; expect speedup to flatten there.
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <thread>
 
 #include "bench_common.hpp"
+
+namespace {
+
+/// Process peak RSS in KiB so far — a monotonic high-water mark, so later
+/// rows can only report >= earlier rows; the first row is the honest one.
+std::size_t peak_rss_kib() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::size_t>(ru.ru_maxrss);
+}
+
+}  // namespace
 
 int main() {
   using namespace specure;
@@ -22,8 +36,8 @@ int main() {
               ", hardware threads: " +
               std::to_string(std::thread::hardware_concurrency()));
 
-  std::printf("  %-8s %-12s %-10s %-12s %-10s\n", "jobs", "seconds",
-              "iters/sec", "speedup", "lp-cov");
+  std::printf("  %-8s %-12s %-10s %-12s %-10s %-12s\n", "jobs", "seconds",
+              "iters/sec", "speedup", "lp-cov", "peak-rss");
   double base_ips = 0;
   std::size_t base_lp = 0;
   for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
@@ -43,8 +57,9 @@ int main() {
       base_ips = ips;
       base_lp = lp;
     }
-    std::printf("  %-8zu %-12.3f %-10.1f %-12.2f %-10zu\n", jobs,
-                result.seconds, ips, base_ips > 0 ? ips / base_ips : 0.0, lp);
+    std::printf("  %-8zu %-12.3f %-10.1f %-12.2f %-10zu %zu KiB\n", jobs,
+                result.seconds, ips, base_ips > 0 ? ips / base_ips : 0.0, lp,
+                peak_rss_kib());
     if (lp != base_lp) {
       std::printf("  !! determinism violation: lp-cov %zu != %zu at jobs=1\n",
                   lp, base_lp);
@@ -53,5 +68,7 @@ int main() {
   }
   bench::note("speedup is relative to jobs=1; campaign results are "
               "identical across rows by construction");
+  bench::note("peak-rss is the process high-water mark (monotonic across "
+              "rows); worker traces are delta-native, O(changes) each");
   return 0;
 }

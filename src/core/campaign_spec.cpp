@@ -191,6 +191,9 @@ const std::vector<KeyDef>& key_table() {
              }},
       SPEC_SIZE("mst_rows", "campaign", mst_sample_rows),
       SPEC_U64("progress_interval", "campaign", progress_interval),
+      KeyDef{"vcd_out", "campaign", true,
+             [](const CampaignSpec& s) { return s.vcd_out; },
+             [](CampaignSpec& s, const std::string& v) { s.vcd_out = v; }},
       // -- offline ---------------------------------------------------------
       SPEC_BOOL("pdlc_reverse", "offline", pdlc.reverse),
       SPEC_BOOL("pdlc_register_sources_only", "offline",

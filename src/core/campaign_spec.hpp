@@ -87,6 +87,12 @@ struct CampaignSpec {
   std::size_t batch_size = 32;
   /// on_progress event cadence in merged iterations; 0 disables.
   std::uint64_t progress_interval = 500;
+  /// When non-empty: directory that receives one VCD waveform per
+  /// confirmed (deduplicated) vulnerability window, named
+  /// <scenario>_vuln_iter<N>_<index>.vcd. Created if missing; Session
+  /// probes writability before the campaign starts (SpecError if not).
+  /// Deterministic across jobs. Empty = off.
+  std::string vcd_out;
   CampaignBudget budget;
 
   // ---- named scenario presets -------------------------------------------

@@ -16,12 +16,11 @@ WorkerResult CampaignWorker::process(
     const fuzz::FuzzJob& job,
     const std::vector<bool>* lp_already_covered) const {
   sim::RunResult run = sim_.run(job.program);
-  const snapshot::TraceDeltas deltas(run.trace);
 
   WorkerResult out;
   out.iteration = job.iteration;
   out.windows = extract_mst(run.trace);
-  out.lp_hits = lp_probe_.probe(deltas, out.windows, lp_already_covered);
+  out.lp_hits = lp_probe_.probe(run.trace, out.windows, lp_already_covered);
   out.reports = detector_.analyze(run, out.windows);
   out.coverage = std::move(run.coverage);
   out.cycles = run.cycles;

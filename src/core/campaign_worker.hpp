@@ -5,10 +5,11 @@
 // workers: all derive from the same CoreConfig, so snapshot signal ids
 // agree) and performs the entire per-iteration heavy lifting off-thread:
 // simulate the program on a cold core, extract the misspeculation table,
-// build the per-cycle trace deltas, probe LP coverage, and run the
+// probe LP coverage straight off the delta-native trace, and run the
 // vulnerability detector. The output is a compact WorkerResult — the
-// multi-megabyte snapshot trace is dropped before the result travels to
-// the merger, so a deep batch stays cheap to buffer.
+// run trace (already O(changes), not O(cycles × signals)) is dropped
+// before the result travels to the merger, so a deep batch stays cheap
+// to buffer.
 //
 // process() is const and touches only worker-owned or read-only shared
 // state (the OfflineResult's IFG/PDLC), so any number of workers may run

@@ -61,19 +61,19 @@ std::size_t LpCoverageMap::update(const snapshot::Trace& trace,
                      covered_count_);
 }
 
-std::size_t LpCoverageMap::update(const snapshot::TraceDeltas& deltas,
+std::size_t LpCoverageMap::update(const snapshot::DenseTrace& trace,
                                   const std::vector<SpecWindow>& windows) {
-  return update_impl(deltas, windows, channel_signals_, covered_,
+  return update_impl(trace, windows, channel_signals_, covered_,
                      covered_count_);
 }
 
 std::vector<std::size_t> LpCoverageMap::probe(
-    const snapshot::TraceDeltas& deltas,
+    const snapshot::Trace& trace,
     const std::vector<SpecWindow>& windows,
     const std::vector<bool>* already_covered) const {
   std::vector<bool> hit(channel_signals_.size(), false);
   for (const auto& w : windows) {
-    const auto changed = deltas.changed_mask(w.start_cycle, w.end_cycle);
+    const auto changed = trace.changed_mask(w.start_cycle, w.end_cycle);
     for (std::size_t c = 0; c < channel_signals_.size(); ++c) {
       if (hit[c] || channel_signals_[c].empty()) continue;
       if (already_covered && (*already_covered)[c]) continue;

@@ -26,11 +26,13 @@ class LpCoverageMap {
                 LpPolicy policy = LpPolicy::kAllSignals);
 
   /// Account one run: returns the number of *newly* covered channels.
+  /// The trace is delta-native, so each window's change mask costs only
+  /// the events inside the window — the old separate TraceDeltas rebuild
+  /// pass is gone. The DenseTrace overload is the reference path used by
+  /// the differential suite.
   std::size_t update(const snapshot::Trace& trace,
                      const std::vector<SpecWindow>& windows);
-
-  /// Same, with precomputed per-cycle deltas (cheap for many windows).
-  std::size_t update(const snapshot::TraceDeltas& deltas,
+  std::size_t update(const snapshot::DenseTrace& trace,
                      const std::vector<SpecWindow>& windows);
 
   /// Thread-safe half of update(): the channels this run exercised
@@ -42,7 +44,7 @@ class LpCoverageMap {
   /// are skipped, which restores update()'s cheap saturated-coverage path
   /// without sharing mutable state across threads.
   std::vector<std::size_t> probe(
-      const snapshot::TraceDeltas& deltas,
+      const snapshot::Trace& trace,
       const std::vector<SpecWindow>& windows,
       const std::vector<bool>* already_covered = nullptr) const;
 

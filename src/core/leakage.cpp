@@ -9,8 +9,9 @@ std::vector<WindowLeakage> detect_leakage(
     if (!w.mispredicted) continue;
     WindowLeakage leak;
     leak.window = w;
-    leak.deltas = snapshot::diff(trace.at_cycle(w.start_cycle),
-                                 trace.at_cycle(w.end_cycle));
+    // Window-oriented delta query: only the signals with change events
+    // inside the window are diff candidates, no snapshot pair needed.
+    leak.deltas = trace.diff(w.start_cycle, w.end_cycle);
     out.push_back(std::move(leak));
   }
   return out;

@@ -19,37 +19,42 @@ std::vector<SpecWindow> extract_mst(const snapshot::Trace& trace) {
   std::vector<SpecWindow> out;
   if (trace.empty()) return out;
   const auto& db = trace.db();
-  const auto unsafe_id = db.id_of("core.rob.unsafe");
-  const auto pc_id = db.id_of("core.rob.spec_pc");
-  const auto inst_id = db.id_of("core.rob.spec_inst");
-  const auto mispred_id = db.id_of("core.rob.brupdate_mispredict");
+  const std::vector<snapshot::SignalId> ids = {
+      db.id_of("core.rob.unsafe"),
+      db.id_of("core.rob.spec_pc"),
+      db.id_of("core.rob.spec_inst"),
+      db.id_of("core.rob.brupdate_mispredict"),
+  };
 
+  // One pass over the delta stream: the four window-indicator signals are
+  // tracked through their change events, so the scan costs O(cycles +
+  // changes) instead of materializing every snapshot.
   bool open = false;
   SpecWindow cur;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const auto& snap = trace[i];
-    const bool unsafe = snap.values[unsafe_id] != 0;
+  trace.scan(ids, [&](std::uint64_t cycle,
+                      const std::vector<std::uint64_t>& v) {
+    const bool unsafe = v[0] != 0;
     if (unsafe && !open) {
       open = true;
       cur = SpecWindow{};
-      cur.start_cycle = snap.cycle;
-      cur.pc = snap.values[pc_id];
-      cur.inst = static_cast<std::uint32_t>(snap.values[inst_id]);
+      cur.start_cycle = cycle;
+      cur.pc = v[1];
+      cur.inst = static_cast<std::uint32_t>(v[2]);
     }
     if (open && unsafe) {
-      const auto opener = static_cast<std::uint32_t>(snap.values[inst_id]);
+      const auto opener = static_cast<std::uint32_t>(v[2]);
       if (std::find(cur.opener_insts.begin(), cur.opener_insts.end(),
                     opener) == cur.opener_insts.end()) {
         cur.opener_insts.push_back(opener);
       }
     }
-    if (open && snap.values[mispred_id] != 0) cur.mispredicted = true;
+    if (open && v[3] != 0) cur.mispredicted = true;
     if (!unsafe && open) {
       open = false;
-      cur.end_cycle = snap.cycle;
+      cur.end_cycle = cycle;
       out.push_back(cur);
     }
-  }
+  });
   return out;
 }
 

@@ -1,11 +1,49 @@
 #include "core/session.hpp"
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "core/campaign_scheduler.hpp"
+#include "snapshot/vcd.hpp"
 
 namespace specure::core {
+
+namespace {
+
+/// Fail before the campaign starts, not at the first confirmed finding:
+/// create the waveform directory (mkdir -p semantics) and probe it for
+/// writability. Throws SpecError, which the CLI maps to a usage error.
+void ensure_vcd_dir_writable(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec && !std::filesystem::is_directory(dir)) {
+    throw SpecError("vcd_out directory '" + dir +
+                    "' cannot be created: " + ec.message());
+  }
+  const std::filesystem::path probe =
+      std::filesystem::path(dir) / ".specure_write_probe";
+  {
+    std::ofstream out(probe);
+    if (!out) {
+      throw SpecError("vcd_out directory '" + dir + "' is not writable");
+    }
+  }
+  std::filesystem::remove(probe, ec);
+}
+
+/// Waveform filename component for a scenario: spec names are free-form,
+/// so path separators and blanks are flattened.
+std::string sanitized_scenario_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ' ' || c == '\t') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
 
 Session::Session(CampaignSpec spec)
     : spec_((spec.validate(), std::move(spec))),
@@ -69,6 +107,7 @@ std::size_t Session::resolved_jobs() const {
 }
 
 CampaignResult Session::run() {
+  if (!spec_.vcd_out.empty()) ensure_vcd_dir_writable(spec_.vcd_out);
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -148,6 +187,25 @@ CampaignResult Session::run() {
       for (std::size_t v = prev_vulns; v < r.vulns.size(); ++v) {
         const VulnEvent event{rec.iteration, r.vulns[v]};
         for (const auto& fn : vuln_observers_) fn(event);
+      }
+      if (!spec_.vcd_out.empty() && r.vulns.size() > prev_vulns) {
+        // One waveform per confirmed (post-dedup) finding. The worker's
+        // trace is gone by merge time, so the program is re-simulated once
+        // on the session simulator — same config, same seed-free cold
+        // core, hence the identical trace — and only the vulnerability
+        // window is written. Findings are rare, so this stays cheap, and
+        // merge order makes the file set deterministic across jobs. The
+        // scenario name prefixes the file so concurrent Sweep scenarios
+        // can share one vcd_out directory without colliding.
+        const sim::RunResult rerun = sim_.run(batch[i].program);
+        for (std::size_t v = prev_vulns; v < r.vulns.size(); ++v) {
+          const SpecWindow& w = r.vulns[v].window;
+          snapshot::write_vcd_window_file(
+              spec_.vcd_out + "/" + sanitized_scenario_name(spec_.name) +
+                  "_vuln_iter" + std::to_string(rec.iteration) + "_" +
+                  std::to_string(v) + ".vcd",
+              rerun.trace, w.start_cycle, w.end_cycle);
+        }
       }
       if (spec_.progress_interval != 0 &&
           rec.iteration >= last_progress + spec_.progress_interval) {

@@ -122,14 +122,9 @@ std::vector<VulnReport> VulnerabilityDetector::analyze(
         tainted_id != snapshot::kInvalidSignal) {
       // Spectre mode: a tainted (secret-derived-address) speculative
       // access inside this squashed window left persistent cache residue.
-      bool tainted_pulse = false;
-      for (std::uint64_t c = from + 1; c <= to; ++c) {
-        if (run.trace.at_cycle(c).values[tainted_id] != 0) {
-          tainted_pulse = true;
-          break;
-        }
-      }
-      if (tainted_pulse) {
+      // Pulse detection walks the signal's change events in (from, to]
+      // instead of materializing every in-window snapshot.
+      if (run.trace.any_nonzero(tainted_id, from, to)) {
         VulnReport rep;
         rep.kind = VulnKind::kCacheResidue;
         rep.window = leak.window;

@@ -59,6 +59,12 @@ struct CoreConfig {
   // MWAIT emulation: countdown start value loaded when mwait_en is armed.
   std::uint64_t mwait_timer_start = 1024;
 
+  /// Debug/verification: also record the dense reference trace (one full
+  /// Snapshot per cycle) alongside the delta trace. Costs the old
+  /// O(cycles × signals) memory — used by the trace differential suite
+  /// and the dense-vs-delta bench, never by campaigns.
+  bool record_dense_trace = false;
+
   VulnConfig vuln;
 };
 

@@ -143,6 +143,9 @@ class Core {
 
   RunResult run(const riscv::Program& program) {
     RunResult res(&db_);
+    if (cfg_.record_dense_trace) {
+      res.dense_trace = std::make_unique<snapshot::DenseTrace>(&db_);
+    }
     mem_.load(program);
     fetch_pc_ = riscv::kCodeBase;
 
@@ -626,18 +629,27 @@ class Core {
 
   // ----------------------------------------------------------- snapshot --
   void capture(RunResult& res) {
-    snapshot::Snapshot snap;
-    snap.cycle = cycle_;
-    snap.values.resize(descs_.size());
+    // Delta-native recording: compute each signal once and hand it to the
+    // trace, which detects changes against its live previous-value array
+    // and stores only the (cycle, signal, value) events. Toggle coverage
+    // falls out of the same comparison (record() returns the toggled-bit
+    // count), so no full snapshot is ever materialized on the hot path.
+    const bool first = res.trace.empty();
+    res.trace.begin_cycle(cycle_);
     const RobEntry* spec = oldest_unsafe();
+    std::uint64_t toggles = 0;
+    snapshot::Snapshot dense;
+    if (res.dense_trace) {
+      dense.cycle = cycle_;
+      dense.values.resize(descs_.size());
+    }
     for (std::size_t i = 0; i < descs_.size(); ++i) {
-      snap.values[i] = value_of(descs_[i], spec);
+      const std::uint64_t v = value_of(descs_[i], spec);
+      toggles += res.trace.record(static_cast<snapshot::SignalId>(i), v);
+      if (res.dense_trace) dense.values[i] = v;
     }
-    if (!res.trace.empty()) {
-      res.coverage.toggles(
-          snapshot::toggle_count(res.trace[res.trace.size() - 1], snap));
-    }
-    res.trace.push(std::move(snap));
+    if (!first) res.coverage.toggles(toggles);
+    if (res.dense_trace) res.dense_trace->push(std::move(dense));
   }
 
   std::uint64_t value_of(const SigDesc& d, const RobEntry* spec) const {

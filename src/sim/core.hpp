@@ -52,6 +52,9 @@ struct CommitRecord {
 
 struct RunResult {
   snapshot::Trace trace;
+  /// Dense reference recording of the same run; only populated when
+  /// CoreConfig::record_dense_trace is set (trace differential suite).
+  std::unique_ptr<snapshot::DenseTrace> dense_trace;
   std::vector<CommitRecord> commits;
   CoverageRecorder coverage;
   std::uint64_t cycles = 0;

@@ -2,7 +2,9 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "util/strings.hpp"
 
@@ -36,14 +38,11 @@ void write_value(std::ostream& os, std::uint64_t value, unsigned width,
   os << ' ' << code << '\n';
 }
 
-}  // namespace
-
-void write_vcd(std::ostream& os, const Trace& trace,
-               const std::string& top_scope) {
-  const SignalDb& db = trace.db();
+/// Header + per-signal identifier codes, shared by every writer.
+std::vector<std::string> write_header(std::ostream& os, const SignalDb& db,
+                                      const std::string& top_scope) {
   os << "$date today $end\n$version specure $end\n$timescale 1ns $end\n";
   os << "$scope module " << top_scope << " $end\n";
-
   std::vector<std::string> codes(db.size());
   for (SignalId i = 0; i < db.size(); ++i) {
     codes[i] = vcd_code(i);
@@ -57,6 +56,37 @@ void write_vcd(std::ostream& os, const Trace& trace,
        << " $end\n";
   }
   os << "$upscope $end\n$enddefinitions $end\n";
+  return codes;
+}
+
+}  // namespace
+
+void write_vcd(std::ostream& os, const Trace& trace,
+               const std::string& top_scope) {
+  const SignalDb& db = trace.db();
+  const auto codes = write_header(os, db, top_scope);
+  if (trace.empty()) return;
+
+  // First tick: full dump. Later ticks: exactly the change events — VCD's
+  // own delta encoding, streamed without materializing any snapshot.
+  const Snapshot first = trace[0];
+  os << '#' << first.cycle << '\n';
+  for (SignalId i = 0; i < db.size(); ++i) {
+    write_value(os, first.values[i], db.info(i).width, codes[i]);
+  }
+  for (std::size_t t = 1; t < trace.size(); ++t) {
+    os << '#' << trace.cycle_at(t) << '\n';
+    for (std::size_t e = trace.tick_begin(t); e < trace.tick_end(t); ++e) {
+      const SignalId id = trace.event_id(e);
+      write_value(os, trace.event_value(e), db.info(id).width, codes[id]);
+    }
+  }
+}
+
+void write_vcd(std::ostream& os, const DenseTrace& trace,
+               const std::string& top_scope) {
+  const SignalDb& db = trace.db();
+  const auto codes = write_header(os, db, top_scope);
 
   std::vector<std::uint64_t> last(db.size());
   bool first = true;
@@ -73,11 +103,149 @@ void write_vcd(std::ostream& os, const Trace& trace,
   }
 }
 
+void write_vcd_window(std::ostream& os, const Trace& trace,
+                      std::uint64_t from, std::uint64_t to,
+                      const std::string& top_scope) {
+  if (to < from) {
+    throw std::runtime_error("vcd window: to-cycle before from-cycle");
+  }
+  const SignalDb& db = trace.db();
+  const auto codes = write_header(os, db, top_scope);
+  if (trace.empty()) return;
+
+  const Snapshot start = trace.at_cycle(from);
+  os << '#' << start.cycle << '\n';
+  for (SignalId i = 0; i < db.size(); ++i) {
+    write_value(os, start.values[i], db.info(i).width, codes[i]);
+  }
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const std::uint64_t c = trace.cycle_at(t);
+    if (c <= from || c > to) continue;
+    os << '#' << c << '\n';
+    for (std::size_t e = trace.tick_begin(t); e < trace.tick_end(t); ++e) {
+      const SignalId id = trace.event_id(e);
+      write_value(os, trace.event_value(e), db.info(id).width, codes[id]);
+    }
+  }
+}
+
 void write_vcd_file(const std::string& path, const Trace& trace,
                     const std::string& top_scope) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open VCD output: " + path);
   write_vcd(out, trace, top_scope);
+  if (!out.flush()) throw std::runtime_error("VCD write failed: " + path);
+}
+
+void write_vcd_window_file(const std::string& path, const Trace& trace,
+                           std::uint64_t from, std::uint64_t to,
+                           const std::string& top_scope) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open VCD output: " + path);
+  write_vcd_window(out, trace, from, to, top_scope);
+  if (!out.flush()) throw std::runtime_error("VCD write failed: " + path);
+}
+
+// ----------------------------------------------------------------- reader --
+
+VcdData read_vcd(std::istream& is) {
+  VcdData data;
+  std::unordered_map<std::string, std::size_t> code_index;
+  std::vector<std::uint64_t> current;
+  bool have_time = false;
+
+  auto index_of_code = [&code_index](const std::string& code) -> std::size_t {
+    const auto it = code_index.find(code);
+    if (it == code_index.end()) {
+      throw std::runtime_error("vcd: value change for undeclared code '" +
+                               code + "'");
+    }
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view t = util::trim(line);
+    if (t.empty()) continue;
+    if (t[0] == '$') {
+      // Only $var declarations carry state we need; other $-commands
+      // ($date, $timescale, $scope, $enddefinitions, ...) are skipped.
+      std::istringstream ss{std::string(t)};
+      std::string word;
+      ss >> word;
+      if (word == "$var") {
+        if (have_time) {
+          // `current` is sized at the first timestamp; a late declaration
+          // would index past it.
+          throw std::runtime_error("vcd line " + std::to_string(line_no) +
+                                   ": $var after the first timestamp");
+        }
+        std::string type, code, name;
+        unsigned width = 0;
+        ss >> type >> width >> code >> name;
+        if (code.empty() || name.empty()) {
+          throw std::runtime_error("vcd line " + std::to_string(line_no) +
+                                   ": malformed $var");
+        }
+        if (!code_index.emplace(code, data.names.size()).second) {
+          throw std::runtime_error("vcd line " + std::to_string(line_no) +
+                                   ": duplicate identifier code '" + code +
+                                   "'");
+        }
+        data.names.push_back(name);
+        data.widths.push_back(width);
+      }
+      continue;
+    }
+    if (t[0] == '#') {
+      std::uint64_t cycle = 0;
+      try {
+        cycle = std::stoull(std::string(t.substr(1)));
+      } catch (const std::exception&) {
+        throw std::runtime_error("vcd line " + std::to_string(line_no) +
+                                 ": bad timestamp '" + std::string(t) + "'");
+      }
+      if (have_time) data.values.push_back(current);
+      if (current.size() != code_index.size()) {
+        current.assign(code_index.size(), 0);
+      }
+      data.cycles.push_back(cycle);
+      have_time = true;
+      continue;
+    }
+    if (!have_time) {
+      throw std::runtime_error("vcd line " + std::to_string(line_no) +
+                               ": value change before first timestamp");
+    }
+    if (t[0] == 'b') {
+      const std::size_t sp = t.find(' ');
+      if (sp == std::string_view::npos) {
+        throw std::runtime_error("vcd line " + std::to_string(line_no) +
+                                 ": malformed binary value");
+      }
+      std::uint64_t v = 0;
+      for (const char c : t.substr(1, sp - 1)) {
+        if (c != '0' && c != '1') {
+          throw std::runtime_error("vcd line " + std::to_string(line_no) +
+                                   ": non-binary digit '" + std::string(1, c) +
+                                   "'");
+        }
+        v = (v << 1) | static_cast<std::uint64_t>(c - '0');
+      }
+      current[index_of_code(std::string(t.substr(sp + 1)))] = v;
+    } else if (t[0] == '0' || t[0] == '1') {
+      current[index_of_code(std::string(t.substr(1)))] =
+          static_cast<std::uint64_t>(t[0] - '0');
+    } else {
+      throw std::runtime_error("vcd line " + std::to_string(line_no) +
+                               ": unsupported value change '" +
+                               std::string(t) + "'");
+    }
+  }
+  if (have_time) data.values.push_back(current);
+  return data;
 }
 
 }  // namespace specure::snapshot

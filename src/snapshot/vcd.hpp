@@ -1,9 +1,14 @@
-// Minimal VCD (Value Change Dump) writer so traces can be inspected in
-// GTKWave — the Microarchitecture Visualizer's "waveforms" output (§3.2).
+// Minimal VCD (Value Change Dump) writer/reader so traces can be
+// inspected in GTKWave — the Microarchitecture Visualizer's "waveforms"
+// output (§3.2). VCD is itself a delta format, so the writer streams the
+// delta trace's change events directly: a full value dump at the first
+// emitted cycle, then only the signals that changed.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "snapshot/snapshot.hpp"
 
@@ -14,8 +19,41 @@ namespace specure::snapshot {
 void write_vcd(std::ostream& os, const Trace& trace,
                const std::string& top_scope = "specure");
 
+/// Dense-reference overload, byte-identical to the delta writer for
+/// equivalent traces (the trace differential suite asserts this).
+void write_vcd(std::ostream& os, const DenseTrace& trace,
+               const std::string& top_scope = "specure");
+
+/// Write only the ticks with from <= cycle <= to: a full dump of the
+/// window's first recorded cycle, then the change events inside it. This
+/// is the per-vulnerability-window waveform export (`--vcd-out`).
+void write_vcd_window(std::ostream& os, const Trace& trace,
+                      std::uint64_t from, std::uint64_t to,
+                      const std::string& top_scope = "specure");
+
 /// Convenience: write to a file path; throws on I/O failure.
 void write_vcd_file(const std::string& path, const Trace& trace,
                     const std::string& top_scope = "specure");
+
+/// Windowed convenience writer; throws on I/O failure.
+void write_vcd_window_file(const std::string& path, const Trace& trace,
+                           std::uint64_t from, std::uint64_t to,
+                           const std::string& top_scope = "specure");
+
+/// Parsed VCD contents: the declared variables plus the dense value matrix
+/// (values carried forward between change events), for round-trip checks
+/// and external-waveform ingestion. Names are as written in the file
+/// (hierarchy separators flattened to '_').
+struct VcdData {
+  std::vector<std::string> names;
+  std::vector<unsigned> widths;
+  std::vector<std::uint64_t> cycles;           ///< one entry per #timestamp
+  std::vector<std::vector<std::uint64_t>> values;  ///< [cycle][signal]
+};
+
+/// Parse the VCD subset this module writes (binary/scalar value changes,
+/// one scope level, `$var wire ...` declarations). Throws
+/// std::runtime_error with context on malformed input.
+VcdData read_vcd(std::istream& is);
 
 }  // namespace specure::snapshot

@@ -98,7 +98,6 @@ TEST(CampaignParallel, BatchSizeOneMatchesLegacyReferenceLoop) {
     const riscv::Program program = fuzzer.next();
     const sim::RunResult run = simulator.run(program);
     const auto windows = extract_mst(run.trace);
-    const snapshot::TraceDeltas deltas(run.trace);
 
     ref.total_windows += windows.size();
     for (const auto& w : windows) {
@@ -107,7 +106,7 @@ TEST(CampaignParallel, BatchSizeOneMatchesLegacyReferenceLoop) {
         ref.mst_sample.push_back(w);
       }
     }
-    const std::size_t lp_new = lp.update(deltas, windows);
+    const std::size_t lp_new = lp.update(run.trace, windows);
     const std::size_t cov_new = code_cov.merge(run.coverage);
     bool new_finding = false;
     for (auto& report : detector.analyze(run, windows)) {

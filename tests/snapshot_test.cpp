@@ -71,7 +71,7 @@ TEST(Snapshot, ToggleCount) {
   EXPECT_EQ(toggle_count(a, b), 2u);
 }
 
-TEST(Trace, AtCycleBinarySearch) {
+TEST(Trace, AtCycleContiguousLookup) {
   const SignalDb db = make_db();
   Trace t(&db);
   for (std::uint64_t c = 1; c <= 50; ++c) t.push(snap(c, {c, c, c}));
@@ -80,6 +80,121 @@ TEST(Trace, AtCycleBinarySearch) {
   EXPECT_EQ(t.at_cycle(50).values[0], 50u);
   EXPECT_THROW(t.at_cycle(51), std::runtime_error);
   EXPECT_THROW(t.at_cycle(0), std::runtime_error);
+}
+
+TEST(Trace, AtCycleErrorNamesCoveredRange) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  for (std::uint64_t c = 5; c <= 9; ++c) t.push(snap(c, {c, 0, 0}));
+  try {
+    t.at_cycle(12);
+    FAIL() << "expected out-of-range throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cycle 12"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("5..9"), std::string::npos);
+  }
+  EXPECT_THROW(Trace(&db).at_cycle(1), std::runtime_error);
+}
+
+TEST(Trace, NonContiguousCyclesFallBackToSearch) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  for (const std::uint64_t c : {2u, 3u, 10u, 11u, 40u}) {
+    t.push(snap(c, {c, c, c}));
+  }
+  EXPECT_EQ(t.at_cycle(10).values[1], 10u);
+  EXPECT_EQ(t.at_cycle(40).values[2], 40u);
+  EXPECT_THROW(t.at_cycle(12), std::runtime_error);
+}
+
+TEST(Trace, KeyframeCrossingMaterialization) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  // Spans several keyframe intervals; signal 1 changes rarely so its
+  // value must carry across keyframes correctly.
+  const std::uint64_t n = 5 * Trace::kKeyframeInterval + 7;
+  for (std::uint64_t c = 1; c <= n; ++c) {
+    t.push(snap(c, {c, c / 100, c % 2}));
+  }
+  const std::uint64_t probes[] = {1, 63, 64, 65, 128, 200, 300, n - 1, n};
+  for (const std::uint64_t c : probes) {
+    const Snapshot s = t.at_cycle(c);
+    EXPECT_EQ(s.values[0], c) << "cycle " << c;
+    EXPECT_EQ(s.values[1], c / 100) << "cycle " << c;
+    EXPECT_EQ(s.values[2], c % 2) << "cycle " << c;
+    EXPECT_EQ(t.value_at(c, 1), c / 100) << "cycle " << c;
+  }
+}
+
+TEST(Trace, RecordDetectsChangesAndCountsToggles) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  t.begin_cycle(1);
+  EXPECT_EQ(t.record(0, 0), 0u);   // initial zero: no event, no toggles
+  EXPECT_EQ(t.record(1, 3), 2u);   // 0 -> 0b11
+  EXPECT_EQ(t.record(2, 1), 1u);
+  t.begin_cycle(2);
+  EXPECT_EQ(t.record(0, 0), 0u);
+  EXPECT_EQ(t.record(1, 3), 0u);   // unchanged: no event
+  EXPECT_EQ(t.record(2, 0), 1u);
+  EXPECT_EQ(t.event_count(), 3u);
+  EXPECT_EQ(t.at_cycle(2).values[1], 3u);
+}
+
+TEST(Trace, RecordEnforcesOrdering) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  EXPECT_THROW(t.record(0, 1), std::runtime_error);  // before begin_cycle
+  t.begin_cycle(5);
+  t.record(1, 7);
+  EXPECT_THROW(t.record(1, 8), std::runtime_error);  // not ascending
+  EXPECT_THROW(t.record(0, 8), std::runtime_error);
+  EXPECT_THROW(t.begin_cycle(5), std::runtime_error);  // not increasing
+  EXPECT_THROW(t.record(99, 1), std::runtime_error);   // outside schema
+}
+
+TEST(Trace, WindowDiffMatchesSnapshotDiff) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  t.push(snap(1, {1, 0, 0}));
+  t.push(snap(2, {2, 5, 0}));
+  t.push(snap(3, {1, 5, 1}));  // signal 0 changed and changed back
+  const auto deltas = t.diff(1, 3);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].id, 1u);
+  EXPECT_EQ(deltas[0].before, 0u);
+  EXPECT_EQ(deltas[0].after, 5u);
+  EXPECT_EQ(deltas[1].id, 2u);
+  EXPECT_TRUE(t.diff(2, 2).empty());
+  EXPECT_THROW(t.diff(1, 9), std::runtime_error);
+}
+
+TEST(Trace, AnyNonzeroPulseDetection) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  t.push(snap(1, {0, 0, 0}));
+  t.push(snap(2, {0, 0, 1}));  // pulse at cycle 2
+  t.push(snap(3, {0, 0, 0}));
+  t.push(snap(4, {0, 0, 0}));
+  EXPECT_TRUE(t.any_nonzero(2, 1, 3));
+  EXPECT_FALSE(t.any_nonzero(2, 2, 4));  // (2, 4]: pulse already over
+  EXPECT_FALSE(t.any_nonzero(0, 1, 4));
+}
+
+TEST(Trace, DeltaMemoryBeatsDenseRecorder) {
+  const SignalDb db = make_db();
+  Trace t(&db);
+  DenseTrace dense(&db);
+  // 1000 ticks, a change only every 4th tick — sparse, like real signals.
+  for (std::uint64_t c = 1; c <= 1000; ++c) {
+    const Snapshot s = snap(c, {c / 4, 7, 0});
+    t.push(s);
+    dense.push(s);
+  }
+  EXPECT_LT(t.memory_bytes(), dense.memory_bytes());
+  // Queries agree between the two recorders.
+  EXPECT_EQ(t.change_counts(10, 50), dense.change_counts(10, 50));
+  EXPECT_EQ(t.changed_mask(0, 1000), dense.changed_mask(0, 1000));
 }
 
 TEST(Trace, ChangeCountsWindow) {

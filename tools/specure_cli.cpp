@@ -28,6 +28,7 @@
 // found vulnerabilities exit 2 (for CI).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -213,9 +214,26 @@ const std::vector<FlagDef> kRunFlags = {
     {"--batch", true, "batch size (sugar for batch=B)"},
     {"--json", true, "write the JSON report (spec embedded) to FILE"},
     {"--save", true, "write the resolved spec as TOML to FILE"},
+    {"--vcd-out", true,
+     "write a VCD waveform per confirmed vulnerability window into DIR"},
     {"--dry-run", false, "print the resolved spec and exit"},
     {"--quiet", false, "suppress the progress/finding feed"},
 };
+
+/// A --vcd-out directory must exist (or be creatable) and be writable
+/// before the campaign starts — a late ENOENT would waste the whole run.
+bool vcd_dir_writable(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec && !std::filesystem::is_directory(dir)) return false;
+  const std::filesystem::path probe =
+      std::filesystem::path(dir) / ".specure_write_probe";
+  std::ofstream out(probe);
+  if (!out) return false;
+  out.close();
+  std::filesystem::remove(probe, ec);
+  return true;
+}
 
 int cmd_run(const Args& args) {
   if (args.positional.size() > 1) {
@@ -233,6 +251,20 @@ int cmd_run(const Args& args) {
       : args.has("--preset")   ? core::CampaignSpec::preset(args.get("--preset"))
                                : core::CampaignSpec{};
   apply_common_overrides(spec, args);
+  // After the overrides so `--vcd-out DIR` wins over a stray vcd_out= key
+  // and the validated directory is the one that gets used. A vcd_out set
+  // only via spec file / override is checked by Session::run() instead
+  // (same exit code: SpecError -> 64).
+  if (args.has("--vcd-out")) {
+    const std::string dir = args.get("--vcd-out");
+    if (!vcd_dir_writable(dir)) {
+      std::fprintf(stderr,
+                   "specure: --vcd-out directory '%s' is not writable\n",
+                   dir.c_str());
+      return kExitUsage;
+    }
+    spec.set("vcd_out", dir);
+  }
   spec.validate();
 
   if (args.has("--save")) {
@@ -501,7 +533,8 @@ void usage() {
       stderr,
       "specure <run|sweep|presets|fuzz|offline|audit|disasm> [options]\n"
       "  run [SPEC.toml] [--preset NAME] [key=value ...] [--iters N]\n"
-      "      [--seed S] [--json F] [--save F] [--dry-run] [--quiet]\n"
+      "      [--seed S] [--json F] [--save F] [--vcd-out DIR] [--dry-run]\n"
+      "      [--quiet]\n"
       "  sweep (--preset NAME | --spec FILE)... [key=value ...]\n"
       "      [--iters N] [--seed S] [--concurrency N] [--json F] [--quiet]\n"
       "  presets [--keys]\n"
