@@ -1,11 +1,20 @@
-// Shared helpers for the experiment benches: fixed-width table printing
-// and campaign result helpers. Each bench binary regenerates one table or
+// Shared helpers for the experiment benches: fixed-width table printing,
+// campaign result helpers, and the machine-readable metric sink
+// (`--json OUT` writes BENCH_<name>.json so CI can track the perf
+// trajectory across PRs). Each bench binary regenerates one table or
 // figure from the paper's evaluation (see DESIGN.md §3).
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/session.hpp"
 
@@ -18,6 +27,77 @@ inline void header(const std::string& title) {
 inline void note(const std::string& text) {
   std::printf("  # %s\n", text.c_str());
 }
+
+/// Process peak RSS in KiB so far — a monotonic high-water mark.
+inline std::size_t peak_rss_kib() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::size_t>(ru.ru_maxrss);
+}
+
+/// Machine-readable metric sink. Constructed from argv: when `--json OUT`
+/// is given, metrics recorded with metric() are written to
+/// OUT/BENCH_<name>.json when the sink is flushed (or destroyed), so the
+/// perf numbers a bench prints are also diffable across PRs:
+///
+///   int main(int argc, char** argv) {
+///     bench::BenchJson json(argc, argv, "trace");
+///     ...
+///     json.metric("delta_bytes_per_cycle", bytes_per_cycle);
+///   }  // writes OUT/BENCH_trace.json
+class BenchJson {
+ public:
+  BenchJson(int argc, char** argv, std::string name)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) != "--json") continue;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench: --json needs an output directory\n");
+        std::exit(64);
+      }
+      out_dir_ = argv[i + 1];
+    }
+  }
+
+  ~BenchJson() { flush(); }
+
+  bool enabled() const { return !out_dir_.empty(); }
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Write the file now (idempotent). Returns the path, or "" when the
+  /// sink is disabled or the write failed.
+  std::string flush() {
+    if (!enabled() || flushed_) return path_;
+    flushed_ = true;
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir_, ec);
+    path_ = out_dir_ + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot open %s\n", path_.c_str());
+      path_.clear();
+      return path_;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n    \"" << metrics_[i].first
+          << "\": " << metrics_[i].second;
+    }
+    out << "\n  }\n}\n";
+    std::printf("  # metrics written to %s\n", path_.c_str());
+    return path_;
+  }
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool flushed_ = false;
+};
 
 /// Iteration at which a campaign first produced a finding whose key
 /// contains `pattern`; 0 when never found.

@@ -6,28 +6,18 @@
 // the final LP coverage) and only wall-clock throughput may differ. On a
 // machine with fewer hardware threads than a row's worker count the extra
 // workers just time-slice; expect speedup to flatten there.
-#include <sys/resource.h>
-
 #include <cstdio>
 #include <thread>
 
 #include "bench_common.hpp"
 
-namespace {
-
-/// Process peak RSS in KiB so far — a monotonic high-water mark, so later
-/// rows can only report >= earlier rows; the first row is the honest one.
-std::size_t peak_rss_kib() {
-  struct rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<std::size_t>(ru.ru_maxrss);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace specure;
+  // Peak RSS is a monotonic high-water mark, so later rows can only
+  // report >= earlier rows; the first row is the honest one.
+  using bench::peak_rss_kib;
 
+  bench::BenchJson json(argc, argv, "parallel_scaling");
   bench::header("Parallel campaign scaling (default MiniBOOM)");
   const std::uint64_t kIters = 400;
   const std::size_t kBatch = 32;
@@ -60,12 +50,14 @@ int main() {
     std::printf("  %-8zu %-12.3f %-10.1f %-12.2f %-10zu %zu KiB\n", jobs,
                 result.seconds, ips, base_ips > 0 ? ips / base_ips : 0.0, lp,
                 peak_rss_kib());
+    json.metric("iters_per_sec_jobs" + std::to_string(jobs), ips);
     if (lp != base_lp) {
       std::printf("  !! determinism violation: lp-cov %zu != %zu at jobs=1\n",
                   lp, base_lp);
       return 1;
     }
   }
+  json.metric("peak_rss_kib", static_cast<double>(peak_rss_kib()));
   bench::note("speedup is relative to jobs=1; campaign results are "
               "identical across rows by construction");
   bench::note("peak-rss is the process high-water mark (monotonic across "

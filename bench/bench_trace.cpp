@@ -14,10 +14,11 @@
 #include "sim/core.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace specure;
   using clock = std::chrono::steady_clock;
 
+  bench::BenchJson json(argc, argv, "trace");
   bench::header("Trace layer: dense reference vs delta-native");
 
   const std::size_t kPrograms = 24;
@@ -53,6 +54,9 @@ int main() {
               static_cast<double>(delta_bytes) / cycles);
   const double ratio = static_cast<double>(dense_bytes) / delta_bytes;
   std::printf("  %-26s %10.1fx\n", "memory reduction:", ratio);
+  json.metric("dense_bytes_per_cycle", static_cast<double>(dense_bytes) / cycles);
+  json.metric("delta_bytes_per_cycle", static_cast<double>(delta_bytes) / cycles);
+  json.metric("memory_reduction", ratio);
 
   // ---- throughput: simulate + full detector pass on each path ------------
   // The dense path reproduces the pre-delta pipeline: full snapshot
@@ -89,6 +93,8 @@ int main() {
               programs.size() / dense_s);
   std::printf("  %-26s %10.1f runs/sec  (%.2fx)\n", "delta pipeline:",
               programs.size() / delta_s, dense_s / delta_s);
+  json.metric("dense_runs_per_sec", programs.size() / dense_s);
+  json.metric("delta_runs_per_sec", programs.size() / delta_s);
 
   // ---- random access ------------------------------------------------------
   {
@@ -105,8 +111,10 @@ int main() {
     std::printf("  %-26s %10.2f us/lookup  (keyframed, %zu-cycle trace)\n",
                 "at_cycle materialize:", 1e6 * s / kLookups,
                 run.trace.size());
+    json.metric("at_cycle_us_per_lookup", 1e6 * s / kLookups);
     if (sink == 0x12345678) std::printf(" ");  // keep the loop observable
   }
+  json.metric("peak_rss_kib", static_cast<double>(bench::peak_rss_kib()));
 
   if (ratio < 5.0) {
     std::printf("  !! memory reduction below the 5x acceptance floor\n");

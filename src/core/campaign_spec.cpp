@@ -149,6 +149,11 @@ const std::vector<KeyDef>& key_table() {
       SPEC_UNSIGNED("mutation_max_stack", "fuzzer", fuzzer.mutator.max_stack),
       SPEC_SIZE("max_code_len", "fuzzer", fuzzer.mutator.max_code_len),
       SPEC_SIZE("max_data_len", "fuzzer", fuzzer.mutator.max_data_len),
+      KeyDef{"replay_program", "fuzzer", true,
+             [](const CampaignSpec& s) { return s.fuzzer.replay_program_hex; },
+             [](CampaignSpec& s, const std::string& v) {
+               s.fuzzer.replay_program_hex = v;
+             }},
       // -- campaign --------------------------------------------------------
       KeyDef{"feedback", "campaign", true,
              [](const CampaignSpec& s) {
@@ -194,6 +199,25 @@ const std::vector<KeyDef>& key_table() {
       KeyDef{"vcd_out", "campaign", true,
              [](const CampaignSpec& s) { return s.vcd_out; },
              [](CampaignSpec& s, const std::string& v) { s.vcd_out = v; }},
+      KeyDef{"triage", "campaign", true,
+             [](const CampaignSpec& s) {
+               return std::string(triage_mode_name(s.triage));
+             },
+             [](CampaignSpec& s, const std::string& v) {
+               if (v == "off") {
+                 s.triage = TriageMode::kOff;
+               } else if (v == "on") {
+                 s.triage = TriageMode::kOn;
+               } else if (v == "full") {
+                 s.triage = TriageMode::kFull;
+               } else {
+                 throw SpecError("triage: '" + v +
+                                 "' is not a triage mode (off | on | full)");
+               }
+             }},
+      KeyDef{"triage_out", "campaign", true,
+             [](const CampaignSpec& s) { return s.triage_out; },
+             [](CampaignSpec& s, const std::string& v) { s.triage_out = v; }},
       // -- offline ---------------------------------------------------------
       SPEC_BOOL("pdlc_reverse", "offline", pdlc.reverse),
       SPEC_BOOL("pdlc_register_sources_only", "offline",
@@ -279,6 +303,15 @@ std::string_view feedback_mode_name(FeedbackMode mode) {
 
 std::string_view lp_policy_name(LpPolicy policy) {
   return policy == LpPolicy::kAllSignals ? "all-signals" : "endpoints";
+}
+
+std::string_view triage_mode_name(TriageMode mode) {
+  switch (mode) {
+    case TriageMode::kOff: return "off";
+    case TriageMode::kOn: return "on";
+    case TriageMode::kFull: return "full";
+  }
+  return "?";
 }
 
 const std::vector<PresetInfo>& CampaignSpec::presets() {
@@ -510,6 +543,18 @@ void CampaignSpec::validate() const {
     bad("max_code_len must be >= 1 (got 0)");
   }
   if (pdlc.max_channels == 0) bad("pdlc_max_channels must be >= 1 (got 0)");
+  if (!fuzzer.replay_program_hex.empty()) {
+    try {
+      const riscv::Program p = riscv::Program::from_hex(
+          fuzzer.replay_program_hex);
+      if (p.empty()) bad("replay_program decodes to an empty program");
+    } catch (const std::exception& e) {
+      bad(std::string("replay_program: ") + e.what());
+    }
+  }
+  if (triage == TriageMode::kFull && triage_out.empty()) {
+    bad("triage_out must name a directory when triage = full");
+  }
 
   if (!problems.empty()) {
     throw SpecError("invalid spec '" + name + "':\n  - " +

@@ -61,6 +61,14 @@ struct PresetInfo {
   std::string description;
 };
 
+/// Post-campaign triage depth. kOn minimizes every confirmed finding and
+/// fires on_finding_minimized events; kFull additionally writes one repro
+/// bundle (repro.S / repro.toml / repro.vcd) per unique signature into
+/// CampaignSpec::triage_out.
+enum class TriageMode : std::uint8_t { kOff, kOn, kFull };
+
+std::string_view triage_mode_name(TriageMode mode);
+
 struct SpecField {
   std::string key;      ///< flat override key, e.g. "rob_entries"
   std::string section;  ///< TOML section: "", "core", "fuzzer", ...
@@ -93,6 +101,12 @@ struct CampaignSpec {
   /// probes writability before the campaign starts (SpecError if not).
   /// Deterministic across jobs. Empty = off.
   std::string vcd_out;
+  /// Post-campaign finding triage: off | on (minimize + events) | full
+  /// (minimize + repro bundles under triage_out). Never perturbs the
+  /// CampaignResult — triage runs after the campaign loop finished.
+  TriageMode triage = TriageMode::kOff;
+  /// Directory that receives the repro bundles when triage = full.
+  std::string triage_out = "specure-triage";
   CampaignBudget budget;
 
   // ---- named scenario presets -------------------------------------------

@@ -22,6 +22,9 @@ WorkerResult CampaignWorker::process(
   out.windows = extract_mst(run.trace);
   out.lp_hits = lp_probe_.probe(run.trace, out.windows, lp_already_covered);
   out.reports = detector_.analyze(run, out.windows);
+  // The detector never sees the test input; stamp it so confirmed
+  // findings stay re-simulatable (waveform export, triage minimization).
+  for (VulnReport& report : out.reports) report.program = job.program;
   out.coverage = std::move(run.coverage);
   out.cycles = run.cycles;
   return out;

@@ -1,5 +1,7 @@
 #include "core/report.hpp"
 
+#include <cctype>
+#include <istream>
 #include <ostream>
 #include <sstream>
 
@@ -64,7 +66,8 @@ void write_text_report(std::ostream& os, const CampaignResult& result,
        << "code coverage points:  " << result.history.back().coverage_points
        << "\n";
   }
-  os << "findings:              " << result.vulns.size() << "\n\n";
+  os << "findings:              " << result.vulns.size() << " ("
+     << coarse_bucket_count(result) << " coarse buckets)\n\n";
 
   for (std::size_t i = 0; i < result.vulns.size(); ++i) {
     const VulnReport& v = result.vulns[i];
@@ -75,7 +78,10 @@ void write_text_report(std::ostream& os, const CampaignResult& result,
        << "    window: cycles [" << v.window.start_cycle << ", "
        << v.window.end_cycle << "], opened by "
        << riscv::disassemble(v.window.inst, v.window.pc) << "\n";
-    auto it = result.first_detection.find(finding_key(v));
+    if (!v.signature.empty()) {
+      os << "    signature: " << v.signature << "\n";
+    }
+    auto it = result.first_detection.find(dedup_key(v));
     if (it != result.first_detection.end()) {
       os << "    first detected at iteration " << it->second << "\n";
     }
@@ -137,7 +143,9 @@ void write_json_report(std::ostream& os, const CampaignResult& result,
     const VulnReport& v = result.vulns[i];
     os << (i == 0 ? "" : ",") << "\n    {\"kind\": \""
        << vuln_kind_name(v.kind) << "\", \"key\": \""
-       << json_escape(finding_key(v)) << "\", \"cwe\": \""
+       << json_escape(finding_key(v)) << "\", \"signature\": \""
+       << json_escape(v.signature) << "\", \"program\": \""
+       << v.program.to_hex() << "\", \"cwe\": \""
        << json_escape(v.cwe) << "\", \"sink\": \""
        << json_escape(v.sink_signal) << "\", \"before\": " << v.before
        << ", \"after\": " << v.after
@@ -183,6 +191,254 @@ std::string json_report(const CampaignResult& result,
   std::ostringstream os;
   write_json_report(os, result, history_points, spec);
   return os.str();
+}
+
+// ------------------------------------------------------------ JSON reader --
+//
+// A small recursive-descent parser for the subset write_json_report
+// emits: objects, arrays, strings with the escapes json_escape produces,
+// numbers, bools, null. Values are held in a flat variant-ish node; only
+// the spec object and the findings array are extracted.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  ///< string payload, or the raw number token
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& is) : is_(is) {}
+
+  JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw SpecError("JSON report: " + why);
+  }
+
+  int peek() {
+    skip_ws();
+    return is_.peek();
+  }
+
+  void skip_ws() {
+    while (std::isspace(is_.peek())) is_.get();
+  }
+
+  void expect(char c) {
+    skip_ws();
+    const int got = is_.get();
+    if (got != c) {
+      fail(std::string("expected '") + c + "', got " +
+           (got == EOF ? std::string("end of input")
+                       : "'" + std::string(1, static_cast<char>(got)) + "'"));
+    }
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.text = string();
+        return v;
+      }
+      case 't':
+      case 'f': return boolean();
+      case 'n': return null();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      is_.get();
+      return v;
+    }
+    for (;;) {
+      std::string key = string();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      if (peek() == ',') {
+        is_.get();
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      is_.get();
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(value());
+      if (peek() == ',') {
+        is_.get();
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const int c = is_.get();
+      if (c == EOF) fail("unterminated string");
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      const int esc = is_.get();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int h = is_.get();
+            if (!std::isxdigit(h)) fail("bad \\u escape");
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       std::isdigit(h) ? h - '0' : std::tolower(h) - 'a' + 10);
+          }
+          // Reports only escape control characters; anything else in the
+          // BMP is passed through byte-wise (good enough for our writer).
+          out.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    skip_ws();
+    while (std::isdigit(is_.peek()) || is_.peek() == '-' ||
+           is_.peek() == '+' || is_.peek() == '.' || is_.peek() == 'e' ||
+           is_.peek() == 'E') {
+      v.text.push_back(static_cast<char>(is_.get()));
+    }
+    if (v.text.empty()) fail("expected a value");
+    return v;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    std::string word;
+    while (std::isalpha(is_.peek())) word.push_back(static_cast<char>(is_.get()));
+    if (word == "true") {
+      v.boolean = true;
+    } else if (word == "false") {
+      v.boolean = false;
+    } else {
+      fail("bad literal '" + word + "'");
+    }
+    v.text = word;
+    return v;
+  }
+
+  JsonValue null() {
+    std::string word;
+    while (std::isalpha(is_.peek())) word.push_back(static_cast<char>(is_.get()));
+    if (word != "null") fail("bad literal '" + word + "'");
+    return JsonValue{};
+  }
+
+  std::istream& is_;
+};
+
+/// Render a scalar node back to the text CampaignSpec::set accepts.
+std::string scalar_text(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    default: return v.text;
+  }
+}
+
+}  // namespace
+
+ParsedReport parse_json_report(std::istream& is) {
+  const JsonValue root = JsonParser(is).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw SpecError("JSON report: top level is not an object");
+  }
+  ParsedReport out;
+  if (const JsonValue* spec = root.find("spec")) {
+    out.has_spec = true;
+    for (const auto& [key, value] : spec->members) {
+      try {
+        out.spec.set(key, scalar_text(value));
+      } catch (const SpecError& e) {
+        throw SpecError(std::string("JSON report: spec.") + key + ": " +
+                        e.what());
+      }
+    }
+  }
+  const JsonValue* findings = root.find("findings");
+  if (findings == nullptr || findings->kind != JsonValue::Kind::kArray) {
+    throw SpecError("JSON report: no findings array");
+  }
+  for (const JsonValue& f : findings->items) {
+    const JsonValue* signature = f.find("signature");
+    const JsonValue* program = f.find("program");
+    if (signature == nullptr || program == nullptr ||
+        program->text.empty()) {
+      throw SpecError(
+          "JSON report: finding lacks signature/program fields — "
+          "regenerate the report with this build (`specure run --json`)");
+    }
+    ParsedReportFinding finding;
+    finding.signature = signature->text;
+    try {
+      finding.program = riscv::Program::from_hex(program->text);
+    } catch (const std::exception& e) {
+      throw SpecError(std::string("JSON report: finding program: ") +
+                      e.what());
+    }
+    out.findings.push_back(std::move(finding));
+  }
+  return out;
 }
 
 }  // namespace specure::core

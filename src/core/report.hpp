@@ -44,4 +44,25 @@ std::string spec_json(const CampaignSpec& spec);
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(const std::string& text);
 
+/// The slice of a JSON report the triage pipeline consumes: the resolved
+/// spec plus each finding's signature and triggering program. Written by
+/// write_json_report; parsed back by parse_json_report for
+/// `specure triage REPORT.json`.
+struct ParsedReportFinding {
+  std::string signature;
+  riscv::Program program;
+};
+
+struct ParsedReport {
+  CampaignSpec spec;
+  bool has_spec = false;  ///< the report carried a "spec" object
+  std::vector<ParsedReportFinding> findings;
+};
+
+/// Parse a report produced by write_json_report (a strict-enough JSON
+/// subset reader — objects, arrays, strings, numbers, bools). Throws
+/// SpecError with context on malformed input or on reports from builds
+/// that predate per-finding programs.
+ParsedReport parse_json_report(std::istream& is);
+
 }  // namespace specure::core

@@ -1,17 +1,13 @@
 #include "core/result_merger.hpp"
 
+#include <set>
+
 namespace specure::core {
 
-std::string finding_key(const VulnReport& report) {
-  std::string key =
-      std::string(vuln_kind_name(report.kind)) + ":" + report.sink_signal;
-  if (report.kind == VulnKind::kCacheResidue) {
-    // Conditional-branch (v1-class) and indirect-jump (v2-class) windows
-    // are distinct vulnerabilities even when the residue lands in the
-    // same structure.
-    key += report.window.has_indirect_opener() ? ":indirect" : ":conditional";
-  }
-  return key;
+std::size_t coarse_bucket_count(const CampaignResult& result) {
+  std::set<std::string> buckets;
+  for (const VulnReport& v : result.vulns) buckets.insert(finding_key(v));
+  return buckets.size();
 }
 
 ResultMerger::ResultMerger(const OfflineResult& offline,
@@ -37,9 +33,11 @@ bool ResultMerger::merge(WorkerResult result) {
   const std::size_t cov_new = code_cov_.merge(result.coverage);
 
   // Vulnerability detection counts regardless of the guidance mode.
+  // Deduplication is by structural leakage signature (dedup_key), so
+  // same-sink findings with different leak mechanisms both survive.
   bool new_finding = false;
   for (auto& report : result.reports) {
-    const std::string key = finding_key(report);
+    const std::string key = dedup_key(report);
     if (result_.first_detection.emplace(key, result.iteration).second) {
       result_.vulns.push_back(std::move(report));
       new_finding = true;

@@ -4,8 +4,8 @@
 // The merger consumes WorkerResults strictly in iteration order and owns
 // every piece of cross-iteration campaign state: the authoritative LP
 // coverage map, the merged code-coverage point set, vulnerability
-// deduplication by finding_key, the MST sample, and the per-iteration
-// history. Because workers hand over order-independent facts and the
+// deduplication by structural leakage signature (dedup_key), the MST
+// sample, and the per-iteration history. Because workers hand over order-independent facts and the
 // merger applies them in a fixed order, a campaign's CampaignResult is
 // bit-identical regardless of how many worker threads produced the
 // results.
@@ -40,8 +40,12 @@ struct IterationRecord {
 
 struct CampaignResult {
   std::vector<IterationRecord> history;
-  std::vector<VulnReport> vulns;  ///< distinct findings (by kind+sink)
-  /// First-detection iteration per finding key ("direct-leak:core.rf.x7").
+  /// Distinct findings, deduplicated by structural leakage signature
+  /// (dedup_key); two findings with the same kind+sink but e.g. disjoint
+  /// taint paths are distinct entries. finding_key() is the coarse bucket.
+  std::vector<VulnReport> vulns;
+  /// First-detection iteration per dedup key (signature string; its
+  /// prefix is the coarse finding key, so substring stops keep working).
   std::map<std::string, std::uint64_t> first_detection;
   std::vector<SpecWindow> mst_sample;
   std::size_t total_windows = 0;
@@ -50,8 +54,9 @@ struct CampaignResult {
   double seconds = 0;
 };
 
-/// Key used for deduplicating findings across iterations.
-std::string finding_key(const VulnReport& report);
+/// Number of distinct coarse finding_key buckets among a result's vulns
+/// (vulns.size() counts unique signatures; this counts kind+sink groups).
+std::size_t coarse_bucket_count(const CampaignResult& result);
 
 class ResultMerger {
  public:

@@ -1,36 +1,24 @@
 #include "core/session.hpp"
 
 #include <chrono>
-#include <filesystem>
-#include <fstream>
 #include <thread>
 
 #include "core/campaign_scheduler.hpp"
 #include "snapshot/vcd.hpp"
+#include "util/fs.hpp"
 
 namespace specure::core {
 
 namespace {
 
-/// Fail before the campaign starts, not at the first confirmed finding:
-/// create the waveform directory (mkdir -p semantics) and probe it for
-/// writability. Throws SpecError, which the CLI maps to a usage error.
-void ensure_vcd_dir_writable(const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec && !std::filesystem::is_directory(dir)) {
-    throw SpecError("vcd_out directory '" + dir +
-                    "' cannot be created: " + ec.message());
+/// Fail before the campaign starts, not at the first confirmed finding.
+/// Throws SpecError, which the CLI maps to a usage error; `key` names
+/// the spec key in the message (vcd_out / triage_out).
+void ensure_dir_writable(const std::string& dir, const char* key) {
+  const std::string problem = util::ensure_dir_writable(dir);
+  if (!problem.empty()) {
+    throw SpecError(std::string(key) + " directory '" + dir + "' " + problem);
   }
-  const std::filesystem::path probe =
-      std::filesystem::path(dir) / ".specure_write_probe";
-  {
-    std::ofstream out(probe);
-    if (!out) {
-      throw SpecError("vcd_out directory '" + dir + "' is not writable");
-    }
-  }
-  std::filesystem::remove(probe, ec);
 }
 
 /// Waveform filename component for a scenario: spec names are free-form,
@@ -71,6 +59,12 @@ Session& Session::on_batch_merged(std::function<void(const BatchEvent&)> fn) {
   return *this;
 }
 
+Session& Session::on_finding_minimized(
+    std::function<void(const triage::MinimizedEvent&)> fn) {
+  minimized_observers_.push_back(std::move(fn));
+  return *this;
+}
+
 Session& Session::add_stop(StopCondition fn) {
   stops_.push_back(std::move(fn));
   return *this;
@@ -107,7 +101,10 @@ std::size_t Session::resolved_jobs() const {
 }
 
 CampaignResult Session::run() {
-  if (!spec_.vcd_out.empty()) ensure_vcd_dir_writable(spec_.vcd_out);
+  if (!spec_.vcd_out.empty()) ensure_dir_writable(spec_.vcd_out, "vcd_out");
+  if (spec_.triage == TriageMode::kFull) {
+    ensure_dir_writable(spec_.triage_out, "triage_out");
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -253,6 +250,32 @@ CampaignResult Session::run() {
 
   CampaignResult result = merger.take_result();
   result.seconds = elapsed();
+
+  // Post-campaign triage: minimize every confirmed finding (and package
+  // repro bundles under `full`). Runs strictly after the campaign loop on
+  // the already-merged findings, so the CampaignResult above is identical
+  // whether triage is on or off.
+  triage_report_.reset();
+  if (spec_.triage != TriageMode::kOff && !result.vulns.empty()) {
+    std::vector<triage::TriageInput> inputs;
+    inputs.reserve(result.vulns.size());
+    for (const VulnReport& v : result.vulns) {
+      inputs.push_back({dedup_key(v), v.program});
+    }
+    triage::TriageOptions options;
+    options.mode = spec_.triage;
+    options.out_dir = spec_.triage_out;
+    // The campaign's batch-size clip on `jobs` does not apply here:
+    // minimization rounds fan out dozens of candidates regardless of the
+    // batch shape, so triage gets the spec's raw worker request (0 = all
+    // hardware threads, resolved by the Minimizer).
+    options.jobs = spec_.jobs;
+    triage_report_ = std::make_unique<triage::TriageReport>(triage::run_triage(
+        spec_, offline_, inputs, options,
+        [this](const triage::MinimizedEvent& event) {
+          for (const auto& fn : minimized_observers_) fn(event);
+        }));
+  }
   return result;
 }
 

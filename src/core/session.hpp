@@ -37,6 +37,7 @@
 #include "core/offline.hpp"
 #include "core/result_merger.hpp"
 #include "sim/core.hpp"
+#include "triage/triage.hpp"
 #include "util/thread_pool.hpp"
 
 namespace specure::core {
@@ -89,6 +90,10 @@ class Session {
   Session& on_new_coverage(std::function<void(const CoverageEvent&)> fn);
   Session& on_vuln(std::function<void(const VulnEvent&)> fn);
   Session& on_batch_merged(std::function<void(const BatchEvent&)> fn);
+  /// Fires once per finding after the post-campaign triage stage
+  /// minimized it (spec.triage = on | full), in finding order.
+  Session& on_finding_minimized(
+      std::function<void(const triage::MinimizedEvent&)> fn);
   Session& add_stop(StopCondition fn);
 
   /// Ready-made stop conditions for add_stop().
@@ -110,6 +115,12 @@ class Session {
   const OfflineResult& offline() const { return offline_; }
   const sim::Simulator& simulator() const { return sim_; }
 
+  /// The triage stage's output for the most recent run(); nullptr when
+  /// spec.triage is off or the campaign found nothing.
+  const triage::TriageReport* triage_report() const {
+    return triage_report_.get();
+  }
+
   /// The worker count run() will actually use (resolves jobs == 0 and
   /// clips to the batch size).
   std::size_t resolved_jobs() const;
@@ -127,7 +138,10 @@ class Session {
   std::vector<std::function<void(const CoverageEvent&)>> coverage_observers_;
   std::vector<std::function<void(const VulnEvent&)>> vuln_observers_;
   std::vector<std::function<void(const BatchEvent&)>> batch_observers_;
+  std::vector<std::function<void(const triage::MinimizedEvent&)>>
+      minimized_observers_;
   std::vector<StopCondition> stops_;
+  std::unique_ptr<triage::TriageReport> triage_report_;
 };
 
 }  // namespace specure::core

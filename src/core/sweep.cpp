@@ -69,9 +69,10 @@ double iters_per_second(const CampaignResult& r) {
 void Sweep::write_table(std::ostream& os,
                         const std::vector<SweepOutcome>& rows) {
   char line[256];
-  std::snprintf(line, sizeof line, "%-16s %-10s %-14s %-10s %-7s %-11s %-9s\n",
-                "scenario", "iters", "lp-cov", "code-cov", "vulns",
-                "iters/sec", "seconds");
+  std::snprintf(line, sizeof line,
+                "%-16s %-10s %-14s %-10s %-10s %-11s %-9s\n", "scenario",
+                "iters", "lp-cov", "code-cov", "sigs", "iters/sec",
+                "seconds");
   os << line;
   for (const SweepOutcome& row : rows) {
     if (!row.ok()) {
@@ -87,10 +88,14 @@ void Sweep::write_table(std::ostream& os,
         r.history.empty() ? 0 : r.history.back().coverage_points;
     const std::string lp_cov =
         std::to_string(lp) + "/" + std::to_string(r.pdlc_total);
+    // Unique leakage signatures, with the coarse kind+sink bucket count
+    // in parentheses — rows are comparable by *distinct mechanisms*.
+    const std::string sigs = std::to_string(r.vulns.size()) + "(" +
+                             std::to_string(coarse_bucket_count(r)) + ")";
     std::snprintf(line, sizeof line,
-                  "%-16s %-10zu %-14s %-10zu %-7zu %-11.1f %-9.3f\n",
+                  "%-16s %-10zu %-14s %-10zu %-10s %-11.1f %-9.3f\n",
                   row.spec.name.c_str(), r.history.size(), lp_cov.c_str(),
-                  points, r.vulns.size(), iters_per_second(r), r.seconds);
+                  points, sigs.c_str(), iters_per_second(r), r.seconds);
     os << line;
   }
 }
@@ -114,7 +119,10 @@ void Sweep::write_json(std::ostream& os,
     os << ", \"iterations\": " << r.history.size()
        << ", \"covered_pdlc\": " << lp << ", \"pdlc_total\": " << r.pdlc_total
        << ", \"coverage_points\": " << points
+       // vulns counts unique leakage signatures (the dedup axis);
+       // coarse_keys counts the kind+sink buckets they group into.
        << ", \"vulns\": " << r.vulns.size()
+       << ", \"coarse_keys\": " << coarse_bucket_count(r)
        << ", \"iters_per_sec\": " << iters_per_second(r)
        << ", \"seconds\": " << r.seconds << ", \"spec\": "
        << spec_json(row.spec) << "}";

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "riscv/isa.hpp"
+#include "triage/signature.hpp"
 #include "util/strings.hpp"
 
 namespace specure::core {
@@ -13,6 +14,22 @@ std::string_view vuln_kind_name(VulnKind kind) {
     case VulnKind::kCacheResidue: return "cache-residue";
   }
   return "?";
+}
+
+std::string finding_key(const VulnReport& report) {
+  std::string key =
+      std::string(vuln_kind_name(report.kind)) + ":" + report.sink_signal;
+  if (report.kind == VulnKind::kCacheResidue) {
+    // Conditional-branch (v1-class) and indirect-jump (v2-class) windows
+    // are distinct vulnerabilities even when the residue lands in the
+    // same structure.
+    key += report.window.has_indirect_opener() ? ":indirect" : ":conditional";
+  }
+  return key;
+}
+
+std::string dedup_key(const VulnReport& report) {
+  return report.signature.empty() ? finding_key(report) : report.signature;
 }
 
 VulnerabilityDetector::VulnerabilityDetector(const ift::Ifg& ifg,
@@ -100,6 +117,11 @@ std::vector<VulnReport> VulnerabilityDetector::analyze(
     const std::string opener_rf =
         "core.rf.x" + std::to_string(opener.rd);
 
+    // Window-local pass: the reports plus the window's full unexplained
+    // architectural delta mask — the signature's diff-mask component is
+    // shared by every finding in the window.
+    std::vector<VulnReport> window_reports;
+    std::vector<std::string> unexplained_mask;
     for (const auto& delta : leak.deltas) {
       const auto& info = db_.info(delta.id);
       if (util::starts_with(info.name, "core.dcache.")) cache_changed = true;
@@ -108,6 +130,7 @@ std::vector<VulnReport> VulnerabilityDetector::analyze(
       if (delta_explained_by_commits(db_, delta.id, run.commits, from, to)) {
         continue;
       }
+      unexplained_mask.push_back(info.name);
       VulnReport rep;
       rep.kind = VulnKind::kDirectLeak;
       rep.window = leak.window;
@@ -115,7 +138,7 @@ std::vector<VulnReport> VulnerabilityDetector::analyze(
       rep.before = delta.before;
       rep.after = delta.after;
       rep.root_causes = find_root_causes(info.name, run.trace, from, to);
-      reports.push_back(std::move(rep));
+      window_reports.push_back(std::move(rep));
     }
 
     if (options_.monitor_cache && cache_changed &&
@@ -137,8 +160,14 @@ std::vector<VulnReport> VulnerabilityDetector::analyze(
                 {info.name, {"core.lsu.addr", info.name}});
           }
         }
-        reports.push_back(std::move(rep));
+        window_reports.push_back(std::move(rep));
       }
+    }
+
+    for (auto& rep : window_reports) {
+      rep.signature =
+          triage::compute_signature(rep, unexplained_mask).key();
+      reports.push_back(std::move(rep));
     }
   }
   return reports;

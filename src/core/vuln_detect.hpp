@@ -18,6 +18,7 @@
 
 #include "core/leakage.hpp"
 #include "ift/pdlc.hpp"
+#include "riscv/program.hpp"
 #include "sim/core.hpp"
 
 namespace specure::core {
@@ -39,7 +40,26 @@ struct VulnReport {
   std::uint64_t before = 0, after = 0;
   std::vector<RootCause> root_causes;
   std::string cwe = "CWE-1342";
+  /// Structural leakage signature (triage/signature.hpp), rendered as a
+  /// string whose prefix is finding_key(). Filled by analyze(); the
+  /// campaign dedup axis and the triage minimizer's reproduction oracle.
+  std::string signature;
+  /// The test input that triggered the finding. The detector never sees
+  /// the program, so the campaign worker stamps it after analyze(); empty
+  /// for callers that analyze a bare RunResult.
+  riscv::Program program;
 };
+
+/// Coarse finding bucket ("direct-leak:core.rf.x7") — kind + sink (+
+/// opener class for cache residue). The pre-triage dedup axis, retained
+/// as the grouping key in reports.
+std::string finding_key(const VulnReport& report);
+
+/// The campaign dedup key: the structural signature when present, else
+/// the coarse finding_key (reports built before the signature pass).
+/// Always contains finding_key(report) as a prefix, so substring stop
+/// conditions keep matching.
+std::string dedup_key(const VulnReport& report);
 
 struct DetectorOptions {
   bool monitor_cache = false;  ///< §4.2 Spectre mode

@@ -58,6 +58,14 @@ Fuzzer::Fuzzer(const FuzzerOptions& options, std::uint64_t rng_seed)
                               options_.random_seed_len)) {
     pending_seeds_.push_back(std::move(s));
   }
+  if (!options_.replay_program_hex.empty()) {
+    // Pending seeds are served back-first, so pushing the replay seed
+    // last makes it iteration 1 (validate() already vetted the hex).
+    Seed replay;
+    replay.name = "replay";
+    replay.program = riscv::Program::from_hex(options_.replay_program_hex);
+    pending_seeds_.push_back(std::move(replay));
+  }
 }
 
 riscv::Program Fuzzer::next() {

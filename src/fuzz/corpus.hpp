@@ -50,6 +50,12 @@ struct FuzzerOptions {
   /// Probability (percent) of splicing two corpus entries instead of
   /// mutating one.
   unsigned splice_percent = 15;
+  /// When non-empty: a riscv::Program::to_hex() image replayed as the
+  /// very first test input (iteration 1), ahead of every other seed. The
+  /// self-contained repro mechanism — a triage repro.toml is a campaign
+  /// spec with replay_program set and a one-iteration budget, so
+  /// `specure run repro.toml` re-triggers the finding exactly.
+  std::string replay_program_hex;
 };
 
 /// One unit of campaign work handed to a simulation worker: the test

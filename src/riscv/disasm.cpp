@@ -1,7 +1,13 @@
 #include "riscv/disasm.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "riscv/encode.hpp"
 #include "util/strings.hpp"
 
 namespace specure::riscv {
@@ -18,6 +24,15 @@ std::string target_hex(std::uint64_t pc, std::int64_t off) {
   // Upper-case hex to match the paper's rendering (0x800025B0).
   for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   return "0x" + s;
+}
+
+/// CSR rendering: the implemented set by name, everything else (the
+/// fuzzer draws from the whole machine-mode address space) as the raw
+/// hex address — "csr_unknown" would not survive a reassembly round-trip.
+std::string csr_text(std::uint16_t addr) {
+  const std::string_view name = csr::name(addr);
+  if (name == "csr_unknown") return util::hex0x(addr);
+  return std::string(name);
 }
 
 }  // namespace
@@ -50,11 +65,10 @@ std::string disassemble(const DecodedInst& d, std::uint64_t pc) {
     case Format::kJ:
       return m + " " + reg(d.rd) + ", " + target_hex(pc, d.imm);
     case Format::kCsr:
-      return m + " " + reg(d.rd) + ", " + std::string(csr::name(d.csr)) +
-             ", " + reg(d.rs1);
+      return m + " " + reg(d.rd) + ", " + csr_text(d.csr) + ", " + reg(d.rs1);
     case Format::kCsrImm:
-      return m + " " + reg(d.rd) + ", " + std::string(csr::name(d.csr)) +
-             ", " + std::to_string(d.zimm);
+      return m + " " + reg(d.rd) + ", " + csr_text(d.csr) + ", " +
+             std::to_string(d.zimm);
     case Format::kSys:
       return m;
   }
@@ -63,6 +77,143 @@ std::string disassemble(const DecodedInst& d, std::uint64_t pc) {
 
 std::string disassemble(std::uint32_t word, std::uint64_t pc) {
   return disassemble(decode(word), pc);
+}
+
+namespace {
+
+[[noreturn]] void bad_asm(std::string_view text, const std::string& why) {
+  throw std::runtime_error("cannot assemble '" + std::string(text) +
+                           "': " + why);
+}
+
+/// Mnemonic -> Op over the whole ISA table.
+Op op_of_mnemonic(std::string_view m) {
+  for (unsigned o = 1; o < static_cast<unsigned>(Op::kCount); ++o) {
+    if (mnemonic(static_cast<Op>(o)) == m) return static_cast<Op>(o);
+  }
+  return Op::kIllegal;
+}
+
+std::uint8_t reg_of(std::string_view text, std::string_view token) {
+  for (std::uint8_t i = 0; i < 32; ++i) {
+    if (kAbiNames[i] == token) return i;
+  }
+  bad_asm(text, "'" + std::string(token) + "' is not a register");
+}
+
+std::int64_t int_of(std::string_view text, std::string_view token) {
+  std::string t(token);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 0);  // base 0: 0x / dec
+  if (errno != 0 || end != t.c_str() + t.size() || t.empty()) {
+    bad_asm(text, "'" + t + "' is not a number");
+  }
+  return v;
+}
+
+std::uint64_t uhex_of(std::string_view text, std::string_view token) {
+  std::string t(token);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(t.c_str(), &end, 16);
+  if (errno != 0 || end != t.c_str() + t.size() || t.empty()) {
+    bad_asm(text, "'" + t + "' is not a hex value");
+  }
+  return v;
+}
+
+std::uint16_t csr_of(std::string_view text, std::string_view token) {
+  for (const std::uint16_t addr : csr::kImplemented) {
+    if (csr::name(addr) == token) return addr;
+  }
+  if (util::starts_with(token, "0x")) {
+    return static_cast<std::uint16_t>(uhex_of(text, token.substr(2)) & 0xfff);
+  }
+  bad_asm(text, "'" + std::string(token) + "' is not a CSR");
+}
+
+}  // namespace
+
+std::uint32_t assemble(std::string_view text, std::uint64_t pc) {
+  // Tokenize: the mnemonic, then operands split on ", " with the
+  // load/store "imm(reg)" form broken into two tokens.
+  std::vector<std::string> tok;
+  std::string current;
+  for (const char c : text) {
+    if (c == ' ' || c == ',' || c == '(' || c == ')') {
+      if (!current.empty()) tok.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tok.push_back(std::move(current));
+  if (tok.empty()) bad_asm(text, "empty line");
+
+  const Op op = op_of_mnemonic(tok[0]);
+  if (op == Op::kIllegal) bad_asm(text, "unknown mnemonic '" + tok[0] + "'");
+  const auto want = [&](std::size_t n) {
+    if (tok.size() != n + 1) {
+      bad_asm(text, "expected " + std::to_string(n) + " operands, got " +
+                        std::to_string(tok.size() - 1));
+    }
+  };
+
+  switch (format_of(op)) {
+    case Format::kR:
+      want(3);
+      return enc_r(op, reg_of(text, tok[1]), reg_of(text, tok[2]),
+                   reg_of(text, tok[3]));
+    case Format::kI:
+      want(3);
+      if (is_load(op) || op == Op::kJalr) {  // "RD, imm(RS1)"
+        return enc_i(op, reg_of(text, tok[1]), reg_of(text, tok[3]),
+                     int_of(text, tok[2]));
+      }
+      return enc_i(op, reg_of(text, tok[1]), reg_of(text, tok[2]),
+                   int_of(text, tok[3]));
+    case Format::kS:
+      want(3);  // "RS2, imm(RS1)"
+      return enc_s(op, reg_of(text, tok[3]), reg_of(text, tok[1]),
+                   int_of(text, tok[2]));
+    case Format::kB: {
+      want(3);  // target is an absolute address, relative to this pc
+      const std::uint64_t target = uhex_of(
+          text, util::starts_with(tok[3], "0x") ? tok[3].substr(2) : tok[3]);
+      return enc_b(op, reg_of(text, tok[1]), reg_of(text, tok[2]),
+                   static_cast<std::int64_t>(target - pc));
+    }
+    case Format::kU:
+      want(2);  // imm20, shifted back into the U-type position
+      return enc_u(op, reg_of(text, tok[1]),
+                   static_cast<std::int64_t>(uhex_of(
+                       text, util::starts_with(tok[2], "0x") ? tok[2].substr(2)
+                                                             : tok[2]))
+                       << 12);
+    case Format::kJ: {
+      want(2);
+      const std::uint64_t target = uhex_of(
+          text, util::starts_with(tok[2], "0x") ? tok[2].substr(2) : tok[2]);
+      return enc_j(reg_of(text, tok[1]),
+                   static_cast<std::int64_t>(target - pc));
+    }
+    case Format::kCsr:
+      want(3);  // "RD, csr, RS1"
+      return enc_csr(op, reg_of(text, tok[1]), reg_of(text, tok[3]),
+                     csr_of(text, tok[2]));
+    case Format::kCsrImm:
+      want(3);  // "RD, csr, zimm"
+      return enc_csr(op, reg_of(text, tok[1]),
+                     static_cast<std::uint8_t>(int_of(text, tok[3]) & 0x1f),
+                     csr_of(text, tok[2]));
+    case Format::kSys:
+      want(0);
+      // ECALL/EBREAK/FENCE all encode from zeroed fields (EBREAK's
+      // distinguishing bit comes from the op itself).
+      return encode(op, 0, 0, 0, 0);
+  }
+  bad_asm(text, "unhandled format");
 }
 
 }  // namespace specure::riscv

@@ -1,10 +1,15 @@
 // Disassembler producing the readable rendering used in the paper's
 // Table 1, e.g. "BGE S8, T5, 0x800025B0" (ABI register names, branch and
-// jump targets resolved against the instruction's own PC).
+// jump targets resolved against the instruction's own PC), plus the
+// inverse: assemble() parses that exact rendering back to the word.
+// Every instruction the generators can emit round-trips
+// assemble(disassemble(w, pc), pc) == w — the triage repro.S writer
+// depends on the text being re-assemblable (riscv_test pins this).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "riscv/decode.hpp"
 
@@ -16,5 +21,11 @@ std::string disassemble(const DecodedInst& inst, std::uint64_t pc);
 
 /// Convenience: decode + disassemble a raw word.
 std::string disassemble(std::uint32_t word, std::uint64_t pc);
+
+/// Parse one line of disassemble() output back into the instruction word
+/// (branch/JAL targets are resolved against `pc`, the address the line
+/// was disassembled at). Throws std::runtime_error naming the offending
+/// token on text this module did not produce.
+std::uint32_t assemble(std::string_view text, std::uint64_t pc);
 
 }  // namespace specure::riscv

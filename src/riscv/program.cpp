@@ -41,6 +41,44 @@ Program Program::from_bytes(const std::vector<std::uint8_t>& bytes) {
   return p;
 }
 
+std::string Program::to_hex() const {
+  static const char* kDigits = "0123456789abcdef";
+  const std::vector<std::uint8_t> bytes = to_bytes();
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Program Program::from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::runtime_error("program hex has odd length " +
+                             std::to_string(hex.size()));
+  }
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::runtime_error(std::string("program hex has non-hex "
+                                           "character '") +
+                               hex[hi < 0 ? i : i + 1] + "'");
+    }
+    bytes.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return from_bytes(bytes);
+}
+
 ProgramBuilder& ProgramBuilder::raw(std::uint32_t word) {
   code_.push_back(word);
   return *this;

@@ -32,6 +32,13 @@ struct Program {
   std::vector<std::uint8_t> to_bytes() const;
   static Program from_bytes(const std::vector<std::uint8_t>& bytes);
 
+  /// Lowercase hex rendering of to_bytes(), the self-contained program
+  /// encoding embedded in JSON reports and repro.toml `replay_program`
+  /// keys. from_hex() throws std::runtime_error on odd length or
+  /// non-hex characters.
+  std::string to_hex() const;
+  static Program from_hex(const std::string& hex);
+
   bool operator==(const Program&) const = default;
 };
 

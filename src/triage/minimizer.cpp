@@ -1,0 +1,188 @@
+#include "triage/minimizer.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/mst.hpp"
+#include "riscv/decode.hpp"
+#include "riscv/encode.hpp"
+
+namespace specure::triage {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool has_signature(const std::vector<core::VulnReport>& reports,
+                   const std::string& signature) {
+  for (const core::VulnReport& r : reports) {
+    if (r.signature == signature) return true;
+  }
+  return false;
+}
+
+/// Remove code[[begin, begin+count)] from a program.
+riscv::Program without_chunk(const riscv::Program& p, std::size_t begin,
+                             std::size_t count) {
+  riscv::Program out = p;
+  out.code.erase(out.code.begin() + static_cast<std::ptrdiff_t>(begin),
+                 out.code.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  return out;
+}
+
+}  // namespace
+
+struct Minimizer::ProbeWorker {
+  sim::Simulator sim;
+  core::VulnerabilityDetector detector;
+
+  ProbeWorker(const sim::CoreConfig& core, const core::OfflineResult& offline,
+              const core::DetectorOptions& options)
+      : sim(core),
+        detector(offline.ifg, offline.pdlc, sim.signal_db(), options) {}
+};
+
+Minimizer::Minimizer(const sim::CoreConfig& core,
+                     const core::OfflineResult& offline,
+                     const core::DetectorOptions& detector, std::size_t jobs) {
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  workers_.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers_.push_back(std::make_unique<ProbeWorker>(core, offline, detector));
+  }
+  pool_ = std::make_unique<util::ThreadPool>(jobs);
+}
+
+Minimizer::~Minimizer() = default;
+
+std::vector<core::VulnReport> Minimizer::probe(
+    const riscv::Program& program) const {
+  return probe_full(program).reports;
+}
+
+Minimizer::ProbeOutcome Minimizer::probe_full(
+    const riscv::Program& program) const {
+  const ProbeWorker& w = *workers_.front();
+  sim::RunResult run = w.sim.run(program);
+  const auto windows = core::extract_mst(run.trace);
+  auto reports = w.detector.analyze(run, windows);
+  return {std::move(run), std::move(reports)};
+}
+
+std::size_t Minimizer::best_candidate(
+    const std::vector<riscv::Program>& candidates, const std::string& signature,
+    std::size_t* probes) {
+  if (candidates.empty()) return kNpos;
+  *probes += candidates.size();
+  std::vector<char> reproduced(candidates.size(), 0);
+  pool_->parallel_for(
+      candidates.size(), [&](std::size_t task, std::size_t ctx) {
+        const ProbeWorker& w = *workers_[ctx];
+        const sim::RunResult run = w.sim.run(candidates[task]);
+        const auto windows = core::extract_mst(run.trace);
+        reproduced[task] =
+            has_signature(w.detector.analyze(run, windows), signature);
+      });
+  // Lowest index wins — the probe order above is irrelevant, so the
+  // accepted reduction is identical for any worker count.
+  for (std::size_t i = 0; i < reproduced.size(); ++i) {
+    if (reproduced[i]) return i;
+  }
+  return kNpos;
+}
+
+MinimizeResult Minimizer::minimize(const riscv::Program& program,
+                                   const std::string& signature) {
+  MinimizeResult result;
+  result.program = program;
+  result.signature = signature;
+  result.original_len = program.code.size();
+  result.minimized_len = program.code.size();
+
+  if (!has_signature(probe(program), signature)) {
+    return result;  // reproduced stays false
+  }
+  result.reproduced = true;
+  riscv::Program current = program;
+
+  // Phase 1 (and phase 4): ddmin over instruction chunks. For each chunk
+  // size, keep removing the lowest-index chunk whose removal still
+  // reproduces; halve the chunk once no removal at this size survives.
+  const auto ddmin = [&] {
+    std::size_t chunk = std::max<std::size_t>(1, current.code.size() / 2);
+    while (chunk >= 1) {
+      for (;;) {
+        if (current.code.size() <= 1) return;
+        std::vector<riscv::Program> candidates;
+        for (std::size_t begin = 0; begin < current.code.size();
+             begin += chunk) {
+          const std::size_t count =
+              std::min(chunk, current.code.size() - begin);
+          if (count == current.code.size()) continue;  // keep non-empty
+          candidates.push_back(without_chunk(current, begin, count));
+        }
+        const std::size_t won =
+            best_candidate(candidates, signature, &result.probes);
+        if (won == kNpos) break;
+        current = candidates[won];
+      }
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  };
+  ddmin();
+
+  // Phase 2: NOP substitution. Neutralize one instruction at a time
+  // without disturbing the offsets of surviving control flow.
+  const std::uint32_t nop = riscv::enc_nop();
+  for (;;) {
+    std::vector<riscv::Program> candidates;
+    for (std::size_t i = 0; i < current.code.size(); ++i) {
+      if (current.code[i] == nop) continue;
+      riscv::Program candidate = current;
+      candidate.code[i] = nop;
+      candidates.push_back(std::move(candidate));
+    }
+    const std::size_t won =
+        best_candidate(candidates, signature, &result.probes);
+    if (won == kNpos) break;
+    current = candidates[won];
+  }
+
+  // Phase 3: operand canonicalization. Re-encode each surviving
+  // instruction through decode()+encode() with a zeroed immediate; loads
+  // and stores then address the data region's base, ALU immediates
+  // become 0. Control flow is left alone (a zero offset is a degenerate
+  // self-loop, never a simplification).
+  for (;;) {
+    std::vector<riscv::Program> candidates;
+    for (std::size_t i = 0; i < current.code.size(); ++i) {
+      const riscv::DecodedInst d = riscv::decode(current.code[i]);
+      if (!d.valid() || riscv::is_control_flow(d.op) || d.imm == 0) continue;
+      const std::uint32_t canonical =
+          riscv::encode(d.op, d.rd, d.rs1, d.rs2, 0, d.csr);
+      if (canonical == current.code[i] || canonical == nop) continue;
+      riscv::Program candidate = current;
+      candidate.code[i] = canonical;
+      candidates.push_back(std::move(candidate));
+    }
+    const std::size_t won =
+        best_candidate(candidates, signature, &result.probes);
+    if (won == kNpos) break;
+    current = candidates[won];
+  }
+
+  // Phase 4: the NOPs phase 2 left behind are dead weight wherever
+  // control flow tolerates the offset shift — let ddmin delete them.
+  ddmin();
+
+  result.program = std::move(current);
+  result.minimized_len = result.program.code.size();
+  for (std::size_t i = 0; i < result.program.code.size(); ++i) {
+    if (result.program.code[i] != nop) result.leak_instructions.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace specure::triage

@@ -1,0 +1,97 @@
+// Test-case minimizer — delta debugging against the leakage signature.
+//
+// A raw finding's program is a mutated fuzz input of up to hundreds of
+// instructions; almost all of them are noise. The minimizer reduces it to
+// the smallest program that still reproduces the *same structural leakage
+// signature* (triage/signature.hpp), in four phases:
+//
+//   1. ddmin over instruction chunks: remove aligned chunks, halving the
+//      chunk size as removals stop reproducing;
+//   2. per-instruction NOP substitution (keeps branch offsets intact
+//      while neutralizing the instruction);
+//   3. operand canonicalization: re-encode surviving instructions with
+//      zeroed immediates via riscv/encode + decode;
+//   4. a second ddmin pass that deletes the NOP runs phase 2 created
+//      where control flow tolerates it.
+//
+// Every candidate is re-simulated on a per-worker sim::Simulator and a
+// reduction is kept only if the target signature is among the re-detected
+// findings. Candidates within one phase round are probed concurrently on
+// the worker pool, but acceptance is deterministic: the lowest candidate
+// index that reproduces wins the round, so the minimized program is
+// bit-identical at a fixed seed for any jobs count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/offline.hpp"
+#include "core/vuln_detect.hpp"
+#include "riscv/program.hpp"
+#include "sim/core.hpp"
+#include "util/thread_pool.hpp"
+
+namespace specure::triage {
+
+struct MinimizeResult {
+  riscv::Program program;        ///< the minimized test input
+  std::string signature;         ///< the reproduced signature key
+  std::size_t original_len = 0;  ///< instructions before minimization
+  std::size_t minimized_len = 0; ///< instructions after minimization
+  std::size_t probes = 0;        ///< candidate simulations spent
+  /// Indices (into program.code) of the leak-relevant instructions: the
+  /// survivors that resisted NOP substitution. Everything else in the
+  /// minimized program is offset-preserving padding.
+  std::vector<std::size_t> leak_instructions;
+  /// False when the target signature did not even reproduce on the
+  /// original program (stale report, config drift); program is then the
+  /// unmodified input.
+  bool reproduced = false;
+};
+
+class Minimizer {
+ public:
+  /// Builds `jobs` probe workers (one simulator + detector each; 0 = all
+  /// hardware threads) over the campaign's core config and offline
+  /// artifacts — signal schemas agree across workers by construction.
+  Minimizer(const sim::CoreConfig& core, const core::OfflineResult& offline,
+            const core::DetectorOptions& detector, std::size_t jobs);
+  ~Minimizer();
+
+  Minimizer(const Minimizer&) = delete;
+  Minimizer& operator=(const Minimizer&) = delete;
+
+  /// Minimize `program` while preserving `signature`.
+  MinimizeResult minimize(const riscv::Program& program,
+                          const std::string& signature);
+
+  /// Simulate + detect on one probe worker: the signatures (and full
+  /// reports) the program triggers. Also the repro verifier's oracle.
+  std::vector<core::VulnReport> probe(const riscv::Program& program) const;
+
+  /// probe() plus the run itself, for consumers that also need the trace
+  /// (the repro writer's waveform export) — one simulation, not two.
+  struct ProbeOutcome {
+    sim::RunResult run;
+    std::vector<core::VulnReport> reports;
+  };
+  ProbeOutcome probe_full(const riscv::Program& program) const;
+
+  std::size_t jobs() const { return workers_.size(); }
+
+ private:
+  struct ProbeWorker;
+
+  /// Probe every candidate concurrently; out[i] = candidate i reproduces
+  /// the target signature. Returns the lowest reproducing index or npos.
+  std::size_t best_candidate(const std::vector<riscv::Program>& candidates,
+                             const std::string& signature,
+                             std::size_t* probes);
+
+  std::vector<std::unique_ptr<ProbeWorker>> workers_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace specure::triage

@@ -1,0 +1,170 @@
+#include "triage/repro.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "core/mst.hpp"
+#include "riscv/disasm.hpp"
+#include "snapshot/vcd.hpp"
+#include "triage/signature.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+namespace specure::triage {
+
+namespace {
+
+/// Directory-name component from a free-form scenario name.
+std::string sanitized(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ' ' || c == '\t') c = '_';
+  }
+  return out;
+}
+
+void ensure_dir(const std::string& dir) {
+  const std::string problem = util::ensure_dir_writable(dir);
+  if (!problem.empty()) {
+    throw core::SpecError("repro bundle directory '" + dir + "' " + problem);
+  }
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw core::SpecError("cannot open '" + path + "' for writing");
+  }
+  return out;
+}
+
+/// The repro campaign: the finding's spec, replaying exactly the
+/// minimized program for one iteration. Budgets and side outputs that
+/// could mask or dilute the replay are cleared.
+core::CampaignSpec repro_spec(const core::CampaignSpec& spec,
+                              const riscv::Program& program,
+                              const std::string& digest) {
+  core::CampaignSpec out = spec;
+  out.name = spec.name + "-repro-" + digest;
+  out.fuzzer.replay_program_hex = program.to_hex();
+  out.budget = core::CampaignBudget{};
+  out.budget.iterations = 1;
+  out.batch_size = 1;
+  out.jobs = 1;
+  out.triage = core::TriageMode::kOff;
+  // Environment-dependent paths must not leak into the bundle: the same
+  // finding triaged into two different --out directories (or jobs
+  // counts) writes byte-identical repro.toml files.
+  out.triage_out = core::CampaignSpec{}.triage_out;
+  out.vcd_out.clear();
+  return out;
+}
+
+void write_repro_asm(std::ostream& os, const core::CampaignSpec& spec,
+                     const MinimizeResult& minimized,
+                     const core::VulnReport* report,
+                     const std::string& digest) {
+  os << "# specure repro " << digest << " — scenario '" << spec.name << "'\n"
+     << "# signature: " << minimized.signature << "\n";
+  if (report != nullptr) {
+    os << "# sink: " << report->sink_signal << ", window cycles ["
+       << report->window.start_cycle << ", " << report->window.end_cycle
+       << "), opened by "
+       << riscv::disassemble(report->window.inst, report->window.pc) << "\n";
+    for (const core::RootCause& rc : report->root_causes) {
+      os << "# root cause: " << rc.source_signal << " ("
+         << util::join(rc.path, " -> ") << ")\n";
+    }
+  }
+  os << "# minimized " << minimized.original_len << " -> "
+     << minimized.minimized_len << " instructions; re-run: specure run "
+     << "repro.toml (exit 2 re-triggers this signature)\n"
+     << "# instructions marked '# leak' resisted NOP substitution; the "
+     << "rest is offset-preserving padding\n\n";
+
+  std::vector<bool> leak(minimized.program.code.size(), false);
+  for (const std::size_t i : minimized.leak_instructions) leak[i] = true;
+  for (std::size_t i = 0; i < minimized.program.code.size(); ++i) {
+    const std::uint64_t pc = riscv::kCodeBase + i * 4;
+    char head[32];
+    std::snprintf(head, sizeof head, "%08llx: %08x  ",
+                  static_cast<unsigned long long>(pc),
+                  minimized.program.code[i]);
+    const std::string text = riscv::disassemble(minimized.program.code[i], pc);
+    os << "    " << head << text;
+    if (leak[i]) {
+      for (std::size_t pad = text.size(); pad < 28; ++pad) os << ' ';
+      os << "  # leak";
+    }
+    os << "\n";
+  }
+
+  if (!minimized.program.data.empty()) {
+    os << "\n# data image (" << minimized.program.data.size()
+       << " bytes, loaded at " << util::hex0x(riscv::kDataBase) << "):\n";
+    for (std::size_t i = 0; i < minimized.program.data.size(); i += 32) {
+      os << "#   " << util::hex(i, 4) << ":";
+      for (std::size_t b = i;
+           b < std::min(minimized.program.data.size(), i + 32); ++b) {
+        os << " " << util::hex(minimized.program.data[b], 2);
+      }
+      os << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+ReproBundle write_repro_bundle(const std::string& out_dir,
+                               const core::CampaignSpec& spec,
+                               const MinimizeResult& minimized,
+                               Minimizer& minimizer) {
+  ReproBundle bundle;
+  bundle.signature = minimized.signature;
+  bundle.digest = signature_digest(minimized.signature);
+  bundle.dir = out_dir + "/" + sanitized(spec.name) + "_" + bundle.digest;
+  ensure_dir(bundle.dir);
+
+  // One probe of the minimized program supplies the report (window, root
+  // causes) for the repro.S annotations and the trace for the waveform.
+  const Minimizer::ProbeOutcome outcome =
+      minimizer.probe_full(minimized.program);
+  const core::VulnReport* report = nullptr;
+  for (const core::VulnReport& r : outcome.reports) {
+    if (r.signature == minimized.signature) {
+      report = &r;
+      break;
+    }
+  }
+
+  {
+    std::ofstream out = open_out(bundle.dir + "/repro.S");
+    write_repro_asm(out, spec, minimized, report, bundle.digest);
+  }
+  repro_spec(spec, minimized.program, bundle.digest)
+      .save(bundle.dir + "/repro.toml");
+  if (report != nullptr) {
+    snapshot::write_vcd_window_file(bundle.dir + "/repro.vcd",
+                                    outcome.run.trace,
+                                    report->window.start_cycle,
+                                    report->window.end_cycle);
+  }
+
+  // Verification by re-execution: load the file we just wrote, decode its
+  // replay program, and re-detect. Only a bundle whose repro.toml
+  // actually re-triggers the signature is reported verified.
+  const core::CampaignSpec reloaded =
+      core::CampaignSpec::load(bundle.dir + "/repro.toml");
+  const riscv::Program replay =
+      riscv::Program::from_hex(reloaded.fuzzer.replay_program_hex);
+  for (const core::VulnReport& r : minimizer.probe(replay)) {
+    if (r.signature == minimized.signature) {
+      bundle.verified = true;
+      break;
+    }
+  }
+  return bundle;
+}
+
+}  // namespace specure::triage

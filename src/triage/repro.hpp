@@ -1,0 +1,45 @@
+// Repro bundle writer — the triage layer's end product.
+//
+// For one minimized finding, write_repro_bundle() creates
+// `<out_dir>/<scenario>_<digest>/` holding:
+//
+//   repro.S     annotated disassembly of the minimized program (leak-
+//               relevant instructions marked, data image appended) in the
+//               exact rendering riscv::assemble() parses back;
+//   repro.toml  a self-contained CampaignSpec: the campaign's spec with
+//               `replay_program` set to the minimized program and a
+//               one-iteration budget, so `specure run repro.toml`
+//               re-triggers the finding (exit 2, same signature);
+//   repro.vcd   the waveform of the leaking speculative window only
+//               (snapshot::write_vcd_window_file).
+//
+// The bundle is verified by re-execution before it is reported: the
+// written repro.toml is loaded back, its replay program decoded and
+// re-simulated, and the bundle is only marked `verified` when the target
+// signature is among the re-detected findings.
+#pragma once
+
+#include <string>
+
+#include "core/campaign_spec.hpp"
+#include "triage/minimizer.hpp"
+
+namespace specure::triage {
+
+struct ReproBundle {
+  std::string dir;        ///< bundle directory (out_dir/<scenario>_<digest>)
+  std::string signature;  ///< the finding's signature key
+  std::string digest;     ///< signature_digest(signature)
+  bool verified = false;  ///< repro.toml re-triggered the same signature
+};
+
+/// Write one bundle for a minimized finding. `spec` is the campaign the
+/// finding came from; `minimizer` supplies the probe simulator for the
+/// waveform export and the verification re-run. Throws core::SpecError
+/// when the directory cannot be created or written.
+ReproBundle write_repro_bundle(const std::string& out_dir,
+                               const core::CampaignSpec& spec,
+                               const MinimizeResult& minimized,
+                               Minimizer& minimizer);
+
+}  // namespace specure::triage

@@ -1,0 +1,87 @@
+#include "triage/signature.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace specure::triage {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string LeakSignature::key() const {
+  // The exact finding_key as a prefix, then the structural fields.
+  std::string out = coarse;
+  out += "#" + shape;
+  out += "|t" + std::to_string(taint_path_len);
+  out += "|src=" + util::join(taint_sources, ",");
+  out += "|mask=" + util::join(diff_mask, ",");
+  return out;
+}
+
+std::string LeakSignature::digest() const { return signature_digest(key()); }
+
+std::string signature_digest(const std::string& key) {
+  return util::hex(fnv1a(key), 16);
+}
+
+std::string normalize_structure(std::string name) {
+  // Strip trailing _<digits> segments: tag_0_1 -> tag_0 -> tag.
+  for (;;) {
+    const std::size_t us = name.rfind('_');
+    if (us == std::string::npos || us + 1 >= name.size()) return name;
+    bool digits = true;
+    for (std::size_t i = us + 1; i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+        digits = false;
+        break;
+      }
+    }
+    if (!digits) return name;
+    name.erase(us);
+  }
+}
+
+namespace {
+
+std::vector<std::string> normalized_set(std::vector<std::string> names) {
+  for (std::string& n : names) n = normalize_structure(std::move(n));
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace
+
+LeakSignature compute_signature(const core::VulnReport& report,
+                                std::vector<std::string> unexplained_mask) {
+  LeakSignature sig;
+  sig.coarse = core::finding_key(report);
+  sig.kind = std::string(core::vuln_kind_name(report.kind));
+  sig.sink = report.sink_signal;
+  sig.shape = report.window.has_indirect_opener() ? "indirect" : "conditional";
+  if (!report.window.mispredicted) sig.shape += ":pred";
+  for (const core::RootCause& rc : report.root_causes) {
+    const std::size_t len = rc.path.empty() ? 1 : rc.path.size();
+    if (sig.taint_path_len == 0 || len < sig.taint_path_len) {
+      sig.taint_path_len = len;
+    }
+    sig.taint_sources.push_back(rc.source_signal);
+  }
+  sig.taint_sources = normalized_set(std::move(sig.taint_sources));
+  sig.diff_mask = normalized_set(std::move(unexplained_mask));
+  return sig;
+}
+
+}  // namespace specure::triage

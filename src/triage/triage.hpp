@@ -1,0 +1,87 @@
+// Triage driver — the post-campaign stage that turns raw findings into
+// actionable evidence: minimize each unique-signature finding on the
+// worker pool (triage/minimizer.hpp), then optionally package a repro
+// bundle per signature (triage/repro.hpp).
+//
+// Triage never touches campaign state: it runs after the campaign loop
+// finished, on the findings the merger confirmed, so enabling it cannot
+// perturb a CampaignResult. Its own output is deterministic too — the
+// minimizer is bit-identical across jobs counts and findings are
+// processed in confirmation order.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/campaign_spec.hpp"
+#include "core/offline.hpp"
+#include "triage/minimizer.hpp"
+
+namespace specure::triage {
+
+/// One finding entering triage: its signature key and the test input
+/// that triggered it (from a CampaignResult or a parsed JSON report).
+struct TriageInput {
+  std::string signature;
+  riscv::Program program;
+};
+
+/// Fired (on the calling thread, in finding order) after each finding
+/// finished minimizing — the Session::on_finding_minimized payload.
+struct MinimizedEvent {
+  std::string signature;
+  std::string digest;
+  std::size_t original_len = 0;
+  std::size_t minimized_len = 0;
+  std::size_t probes = 0;
+  bool reproduced = false;   ///< signature reproduced on the original
+  std::string bundle_dir;    ///< empty unless a bundle was written
+  bool verified = false;     ///< bundle's repro.toml re-triggered it
+};
+
+struct TriagedFinding {
+  std::string signature;
+  std::string digest;
+  std::string coarse;        ///< finding_key bucket (signature prefix)
+  riscv::Program original;
+  riscv::Program minimized;
+  std::vector<std::size_t> leak_instructions;
+  std::size_t probes = 0;
+  bool reproduced = false;
+  std::string bundle_dir;
+  bool verified = false;
+};
+
+struct TriageReport {
+  std::vector<TriagedFinding> findings;
+  std::size_t probes_total = 0;
+  double seconds = 0;
+};
+
+struct TriageOptions {
+  core::TriageMode mode = core::TriageMode::kOn;
+  std::string out_dir;    ///< bundle root, used when mode == kFull
+  std::size_t jobs = 0;   ///< probe workers; 0 = all hardware threads
+};
+
+using MinimizedObserver = std::function<void(const MinimizedEvent&)>;
+
+/// Triage a set of findings under `spec`'s core/detector configuration.
+/// Inputs are deduplicated by signature (first occurrence wins); with
+/// mode == kFull, `out_dir` is created and probed for writability up
+/// front (core::SpecError on failure). `observer` may be null.
+TriageReport run_triage(const core::CampaignSpec& spec,
+                        const core::OfflineResult& offline,
+                        const std::vector<TriageInput>& findings,
+                        const TriageOptions& options,
+                        const MinimizedObserver& observer = nullptr);
+
+/// Fixed-width per-finding summary (digest, lengths, probes, verified).
+void write_triage_table(std::ostream& os, const TriageReport& report);
+
+/// JSON rendering of the triage report for CI pipelines.
+void write_triage_json(std::ostream& os, const TriageReport& report);
+
+}  // namespace specure::triage

@@ -1,0 +1,24 @@
+#include "util/fs.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace specure::util {
+
+std::string ensure_dir_writable(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec && !std::filesystem::is_directory(dir)) {
+    return "cannot be created: " + ec.message();
+  }
+  const std::filesystem::path probe =
+      std::filesystem::path(dir) / ".specure_write_probe";
+  {
+    std::ofstream out(probe);
+    if (!out) return "is not writable";
+  }
+  std::filesystem::remove(probe, ec);
+  return "";
+}
+
+}  // namespace specure::util

@@ -1,0 +1,15 @@
+// Filesystem helpers shared by the output-directory producers (VCD
+// export, triage bundles) and the CLI.
+#pragma once
+
+#include <string>
+
+namespace specure::util {
+
+/// Create `dir` (mkdir -p semantics) and probe it for writability with a
+/// throwaway file. Returns "" on success, else a human-readable reason
+/// ("cannot be created: ...", "is not writable") for the caller to wrap
+/// in its own error type.
+std::string ensure_dir_writable(const std::string& dir);
+
+}  // namespace specure::util

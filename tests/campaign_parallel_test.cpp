@@ -110,7 +110,9 @@ TEST(CampaignParallel, BatchSizeOneMatchesLegacyReferenceLoop) {
     const std::size_t cov_new = code_cov.merge(run.coverage);
     bool new_finding = false;
     for (auto& report : detector.analyze(run, windows)) {
-      if (ref.first_detection.emplace(finding_key(report), iter).second) {
+      // Dedup axis is the structural signature (dedup_key), exactly as in
+      // the merger; the coarse finding_key is only the report bucket.
+      if (ref.first_detection.emplace(dedup_key(report), iter).second) {
         ref.vulns.push_back(std::move(report));
         new_finding = true;
       }

@@ -10,6 +10,14 @@
 //   specure sweep --preset A --preset B ... [--spec FILE ...] [key=value ...]
 //       Run several scenarios concurrently and print a comparison table
 //       (coverage, vulns, iters/sec). Overrides apply to every scenario.
+//   specure triage REPORT.json|SPEC.toml [--out DIR] [--jobs N] [--json F]
+//       Post-campaign finding triage: minimize every finding down to the
+//       smallest program reproducing the same leakage signature and
+//       (with --out) write one repro bundle (repro.S / repro.toml /
+//       repro.vcd) per unique signature. A .json input is a report from
+//       `specure run --json` (campaign skipped, findings triaged
+//       directly); a .toml input runs the campaign first. Exits 1 when a
+//       finding fails to reproduce or a bundle fails verification.
 //   specure presets [--keys]
 //       List the named scenario presets (and, with --keys, every
 //       key=value override the spec layer accepts).
@@ -41,6 +49,8 @@
 #include "core/sweep.hpp"
 #include "riscv/disasm.hpp"
 #include "sim/structure.hpp"
+#include "triage/triage.hpp"
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -167,7 +177,7 @@ void apply_common_overrides(core::CampaignSpec& spec, const Args& args) {
   }
 }
 
-/// Attach the standard progress/vuln stderr feed to a session.
+/// Attach the standard progress/vuln/triage stderr feed to a session.
 void attach_console_observers(core::Session& session, bool quiet) {
   if (quiet) return;
   session.on_progress([](const core::ProgressEvent& e) {
@@ -182,6 +192,20 @@ void attach_console_observers(core::Session& session, bool quiet) {
                  static_cast<unsigned long long>(e.iteration),
                  core::finding_key(e.report).c_str());
   });
+  session.on_finding_minimized([](const triage::MinimizedEvent& e) {
+    if (!e.reproduced) {
+      std::fprintf(stderr, "[specure] triage %s: signature did not reproduce\n",
+                   e.digest.c_str());
+      return;
+    }
+    std::fprintf(stderr,
+                 "[specure] triage %s: %zu -> %zu instructions (%zu probes)%s\n",
+                 e.digest.c_str(), e.original_len, e.minimized_len, e.probes,
+                 e.bundle_dir.empty()
+                     ? ""
+                     : (e.verified ? ", bundle verified"
+                                   : ", BUNDLE FAILED VERIFICATION"));
+  });
 }
 
 /// Shared tail of run/fuzz: text report, optional JSON, exit code.
@@ -191,6 +215,12 @@ int report_and_exit_code(const core::CampaignResult& result,
   core::write_text_report(std::cout, result, &spec);
   std::printf("\n(jobs: %zu, batch size: %zu)\n", session.resolved_jobs(),
               spec.batch_size);
+  if (const triage::TriageReport* triaged = session.triage_report()) {
+    std::printf("\nTriage (%zu findings, %zu probes, %.3fs)\n",
+                triaged->findings.size(), triaged->probes_total,
+                triaged->seconds);
+    triage::write_triage_table(std::cout, *triaged);
+  }
   if (args.has("--json")) {
     std::ofstream json(args.get("--json"));
     if (!json) {
@@ -223,16 +253,7 @@ const std::vector<FlagDef> kRunFlags = {
 /// A --vcd-out directory must exist (or be creatable) and be writable
 /// before the campaign starts — a late ENOENT would waste the whole run.
 bool vcd_dir_writable(const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec && !std::filesystem::is_directory(dir)) return false;
-  const std::filesystem::path probe =
-      std::filesystem::path(dir) / ".specure_write_probe";
-  std::ofstream out(probe);
-  if (!out) return false;
-  out.close();
-  std::filesystem::remove(probe, ec);
-  return true;
+  return util::ensure_dir_writable(dir).empty();
 }
 
 int cmd_run(const Args& args) {
@@ -350,6 +371,109 @@ int cmd_sweep(const Args& args) {
   }
   for (const auto& row : rows) {
     if (!row.ok()) return kExitError;
+  }
+  return kExitOk;
+}
+
+const std::vector<FlagDef> kTriageFlags = {
+    {"--out", true, "write one repro bundle per unique signature into DIR"},
+    {"--jobs", true, "probe workers for minimization, 0 = all hardware"},
+    {"--json", true, "write the triage summary as JSON to FILE"},
+    {"--quiet", false, "suppress the per-finding feed"},
+};
+
+int cmd_triage(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: specure triage REPORT.json|SPEC.toml [--out DIR] "
+                 "[--jobs N] [--json F] [key=value ...]\n");
+    return kExitUsage;
+  }
+  const std::string& input = args.positional[0];
+  const std::size_t jobs = static_cast<std::size_t>(
+      std::strtoull(args.get("--jobs", "0").c_str(), nullptr, 10));
+
+  triage::TriageReport triaged;
+  if (input.size() > 5 && input.substr(input.size() - 5) == ".json") {
+    // Triage an existing report: no campaign, straight to minimization.
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "specure: cannot open %s\n", input.c_str());
+      return kExitError;
+    }
+    core::ParsedReport report = core::parse_json_report(in);
+    if (!report.has_spec) {
+      std::fprintf(stderr,
+                   "specure: %s carries no spec object — regenerate with "
+                   "`specure run --json`\n",
+                   input.c_str());
+      return kExitUsage;
+    }
+    for (const std::string& assignment : args.overrides) {
+      report.spec.apply_override(assignment);
+    }
+    report.spec.validate();
+    if (report.findings.empty()) {
+      std::printf("no findings in %s — nothing to triage\n", input.c_str());
+      return kExitOk;
+    }
+    std::vector<triage::TriageInput> inputs;
+    for (auto& f : report.findings) {
+      inputs.push_back({std::move(f.signature), std::move(f.program)});
+    }
+    triage::TriageOptions options;
+    options.mode = args.has("--out") ? core::TriageMode::kFull
+                                     : core::TriageMode::kOn;
+    options.out_dir = args.get("--out");
+    options.jobs = jobs;
+    const bool quiet = args.has("--quiet");
+    const core::OfflineResult offline =
+        core::run_offline_phase(report.spec.core, report.spec.pdlc);
+    triaged = triage::run_triage(
+        report.spec, offline, inputs, options,
+        [quiet](const triage::MinimizedEvent& e) {
+          if (quiet) return;
+          std::fprintf(stderr, "[triage] %s: %zu -> %zu instructions\n",
+                       e.digest.c_str(), e.original_len, e.minimized_len);
+        });
+  } else {
+    // Spec input: run the campaign, then triage its findings in-session.
+    core::CampaignSpec spec = core::CampaignSpec::load(input);
+    apply_common_overrides(spec, args);
+    spec.triage = args.has("--out") ? core::TriageMode::kFull
+                                    : core::TriageMode::kOn;
+    if (args.has("--out")) spec.triage_out = args.get("--out");
+    spec.validate();
+    core::Session session(spec);
+    attach_console_observers(session, args.has("--quiet"));
+    const core::CampaignResult result = session.run();
+    if (result.vulns.empty()) {
+      std::printf("campaign found nothing to triage (%zu iterations)\n",
+                  result.history.size());
+      return kExitOk;
+    }
+    if (session.triage_report() != nullptr) {
+      triaged = *session.triage_report();
+    }
+  }
+
+  std::printf("Specure triage: %zu unique signatures, %zu probes\n\n",
+              triaged.findings.size(), triaged.probes_total);
+  triage::write_triage_table(std::cout, triaged);
+  if (args.has("--json")) {
+    std::ofstream json(args.get("--json"));
+    if (!json) {
+      std::fprintf(stderr, "specure: cannot open %s\n",
+                   args.get("--json").c_str());
+      return kExitError;
+    }
+    triage::write_triage_json(json, triaged);
+    std::printf("\nJSON triage summary written to %s\n",
+                args.get("--json").c_str());
+  }
+  for (const triage::TriagedFinding& f : triaged.findings) {
+    if (!f.reproduced) return kExitError;
+    if (!f.bundle_dir.empty() && !f.verified) return kExitError;
   }
   return kExitOk;
 }
@@ -519,6 +643,7 @@ const std::vector<CommandDef>& commands() {
   static const std::vector<CommandDef> kCommands = {
       {"run", &kRunFlags, true, cmd_run},
       {"sweep", &kSweepFlags, true, cmd_sweep},
+      {"triage", &kTriageFlags, true, cmd_triage},
       {"presets", &kPresetsFlags, false, cmd_presets},
       {"fuzz", &kFuzzFlags, true, cmd_fuzz},
       {"offline", &kOfflineFlags, false, cmd_offline},
@@ -531,12 +656,15 @@ const std::vector<CommandDef>& commands() {
 void usage() {
   std::fprintf(
       stderr,
-      "specure <run|sweep|presets|fuzz|offline|audit|disasm> [options]\n"
+      "specure <run|sweep|triage|presets|fuzz|offline|audit|disasm> "
+      "[options]\n"
       "  run [SPEC.toml] [--preset NAME] [key=value ...] [--iters N]\n"
       "      [--seed S] [--json F] [--save F] [--vcd-out DIR] [--dry-run]\n"
       "      [--quiet]\n"
       "  sweep (--preset NAME | --spec FILE)... [key=value ...]\n"
       "      [--iters N] [--seed S] [--concurrency N] [--json F] [--quiet]\n"
+      "  triage REPORT.json|SPEC.toml [--out DIR] [--jobs N] [--json F]\n"
+      "      [key=value ...] [--quiet]\n"
       "  presets [--keys]\n"
       "  fuzz [--iters N] [--seed S] [--mwait] [--zenbleed]\n"
       "      [--monitor-cache] [--feedback lp|codecov] [--jobs N]\n"
