@@ -1,0 +1,224 @@
+// Checkpointed incremental simulation: iterations/sec of the worker fast
+// path (prefix-reuse via Simulator::run_from + per-program decode cache)
+// against the cold path, on the default MiniBOOM configuration.
+//
+// Two mutation-local workloads, both shaped like real campaign traffic:
+//
+//   corpus-tail  corpus-style parents drawn from the fuzzer (special +
+//                random seeds), children mutated in the last eighth of
+//                the code — the generic mutation-locality case.
+//   gadget-tail  parents with a long training loop followed by a
+//                straight-line gadget tail, children mutated in the
+//                tail — the paper's leak-hunting shape (train the
+//                predictor, then perturb the gadget), where almost the
+//                whole prefix is reusable.
+//
+// Every checkpoint-path result is verified against its cold-path twin
+// (cycles, coverage, LP hits, finding keys); any divergence fails the
+// bench. The headline acceptance number is the gadget-tail speedup
+// (expected >= 2x).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/campaign_worker.hpp"
+#include "core/offline.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutator.hpp"
+#include "riscv/decode.hpp"
+#include "riscv/program.hpp"
+
+namespace {
+
+using namespace specure;
+
+riscv::Program gadget_parent(util::Rng& rng, unsigned train_iters,
+                             std::size_t tail_len) {
+  riscv::ProgramBuilder b;
+  b.li(5, train_iters);
+  b.li(10, static_cast<std::int64_t>(riscv::kDataBase));
+  b.label("train");
+  b.ld(6, 10, 0);
+  b.addi(7, 6, 1);
+  b.sd(7, 10, 8);
+  b.addi(5, 5, -1);
+  // Forward exit branch (predicted not-taken while training) + backward
+  // JAL: fetch never streams into the tail until training really ends,
+  // so the fetch watermark stays below the gadget for the whole prefix.
+  b.branch(riscv::Op::kBeq, 5, 0, "exit");
+  b.jal(0, "train");
+  b.label("exit");
+  const std::size_t head = b.size();
+  riscv::Program p = b.build();
+  for (std::size_t i = 0; i < tail_len; ++i) {
+    // Branch-free tail: a straight-line gadget after the training loop.
+    std::uint32_t word = 0;
+    do {
+      word = riscv::random_instruction(rng, head + i, head + tail_len);
+      const auto d = riscv::decode(word);
+      if (d.valid() && !riscv::is_branch(d.op) && d.op != riscv::Op::kJal &&
+          d.op != riscv::Op::kJalr && d.op != riscv::Op::kEcall &&
+          d.op != riscv::Op::kEbreak) {
+        break;
+      }
+    } while (true);
+    p.code.push_back(word);
+  }
+  p.data.resize(64, 0);
+  return p;
+}
+
+/// Parent job followed by `children` tail-mutants of it, as a campaign
+/// batch would produce them (the parent is an earlier iteration).
+void push_family(std::vector<fuzz::FuzzJob>& jobs, const riscv::Program& p,
+                 std::size_t children, std::size_t tail_len, util::Rng& rng,
+                 std::uint64_t& iter) {
+  fuzz::FuzzJob parent_job;
+  parent_job.iteration = ++iter;
+  parent_job.program = p;
+  jobs.push_back(std::move(parent_job));
+  const std::size_t n = p.code.size();
+  const std::size_t lo = n > tail_len ? n - tail_len : 0;
+  for (std::size_t k = 0; k < children; ++k) {
+    fuzz::FuzzJob j;
+    j.iteration = ++iter;
+    j.program = p;
+    const std::size_t idx = lo + rng.below(n - lo);
+    j.program.code[idx] = riscv::random_instruction(rng, idx, n);
+    j.has_parent = true;
+    j.parent = p;
+    j.parent_hash = p.hash();
+    j.divergence = fuzz::first_divergence(p, j.program);
+    jobs.push_back(std::move(j));
+  }
+}
+
+bool results_match(const core::WorkerResult& a, const core::WorkerResult& b) {
+  if (a.cycles != b.cycles || a.lp_hits != b.lp_hits ||
+      a.windows.size() != b.windows.size() ||
+      a.reports.size() != b.reports.size() ||
+      a.coverage.points() != b.coverage.points() ||
+      a.coverage.toggle_bits() != b.coverage.toggle_bits()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    if (core::dedup_key(a.reports[i]) != core::dedup_key(b.reports[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Row {
+  double cold_ips = 0;
+  double fast_ips = 0;
+  double speedup = 0;
+  std::uint64_t resumed = 0;
+  std::uint64_t cycles_skipped = 0;
+  bool identical = true;
+};
+
+Row run_workload(const std::vector<fuzz::FuzzJob>& jobs,
+                 const core::CampaignSpec& spec,
+                 const core::OfflineResult& offline) {
+  core::WorkerCheckpointOptions on;
+  core::WorkerCheckpointOptions off;
+  off.enabled = false;
+  core::CampaignWorker fast(spec.core, offline, spec.lp_policy,
+                            spec.detector, on);
+  core::CampaignWorker cold(spec.core, offline, spec.lp_policy,
+                            spec.detector, off);
+
+  Row row;
+  std::vector<core::WorkerResult> cold_results;
+  cold_results.reserve(jobs.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& job : jobs) cold_results.push_back(cold.process(job));
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!results_match(fast.process(jobs[i]), cold_results[i])) {
+      row.identical = false;
+    }
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const double cold_s = std::chrono::duration<double>(t1 - t0).count();
+  const double fast_s = std::chrono::duration<double>(t2 - t1).count();
+  row.cold_ips = cold_s > 0 ? jobs.size() / cold_s : 0;
+  row.fast_ips = fast_s > 0 ? jobs.size() / fast_s : 0;
+  row.speedup = row.cold_ips > 0 ? row.fast_ips / row.cold_ips : 0;
+  row.resumed = fast.checkpoint_stats().resumed;
+  row.cycles_skipped = fast.checkpoint_stats().resumed_cycles;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace specure;
+  bench::BenchJson json(argc, argv, "checkpoint");
+  bench::header("Checkpointed incremental simulation (default MiniBOOM)");
+
+  core::CampaignSpec spec;  // default preset supplies core/detector config
+  const core::OfflineResult offline =
+      core::run_offline_phase(spec.core, spec.pdlc);
+
+  constexpr std::size_t kParents = 8;
+  constexpr std::size_t kChildren = 25;
+  bench::note("workloads: " + std::to_string(kParents) + " parents x " +
+              std::to_string(kChildren) + " tail-mutant children each; "
+              "checkpoint rows re-run the identical job stream");
+
+  std::uint64_t iter = 0;
+  util::Rng rng(7);
+
+  std::vector<fuzz::FuzzJob> corpus_jobs;
+  {
+    fuzz::FuzzerOptions options;
+    fuzz::Fuzzer fuzzer(options, 1);
+    for (std::size_t i = 0; i < kParents; ++i) {
+      const riscv::Program p = fuzzer.next();
+      push_family(corpus_jobs, p, kChildren,
+                  p.code.size() / 8 ? p.code.size() / 8 : 1, rng, iter);
+    }
+  }
+  std::vector<fuzz::FuzzJob> gadget_jobs;
+  for (std::size_t i = 0; i < kParents; ++i) {
+    push_family(gadget_jobs, gadget_parent(rng, 300, 24), kChildren, 24, rng,
+                iter);
+  }
+
+  std::printf("  %-12s %-10s %-10s %-9s %-9s %-14s %s\n", "workload",
+              "cold i/s", "ckpt i/s", "speedup", "resumed", "cycles-skipped",
+              "identical");
+  bool all_identical = true;
+  double gadget_speedup = 0;
+  const auto report = [&](const char* name, const char* key,
+                          const std::vector<fuzz::FuzzJob>& jobs) {
+    const Row row = run_workload(jobs, spec, offline);
+    std::printf("  %-12s %-10.1f %-10.1f %-9.2f %-9llu %-14llu %s\n", name,
+                row.cold_ips, row.fast_ips, row.speedup,
+                static_cast<unsigned long long>(row.resumed),
+                static_cast<unsigned long long>(row.cycles_skipped),
+                row.identical ? "yes" : "NO");
+    json.metric(std::string("iters_per_sec_cold_") + key, row.cold_ips);
+    json.metric(std::string("iters_per_sec_checkpoint_") + key, row.fast_ips);
+    json.metric(std::string("speedup_") + key, row.speedup);
+    all_identical = all_identical && row.identical;
+    return row.speedup;
+  };
+  report("corpus-tail", "corpus", corpus_jobs);
+  gadget_speedup = report("gadget-tail", "gadget", gadget_jobs);
+
+  bench::note("headline: gadget-tail (mutation-local) speedup; the "
+              "acceptance floor is 2x");
+  if (!all_identical) {
+    std::printf("  !! checkpoint results diverged from the cold path\n");
+    return 1;
+  }
+  if (gadget_speedup < 2.0) {
+    std::printf("  !! gadget-tail speedup %.2fx below the 2x floor\n",
+                gadget_speedup);
+  }
+  return 0;
+}

@@ -48,7 +48,8 @@ std::uint64_t specdoctor_spectre_iters(std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson json(argc, argv, "detection_time");
   bench::header("E6a: Spectre time-to-detection (3 seeds each)");
   const std::uint64_t sd_budget = 6000;
   std::uint64_t with_seeds = 0, without_seeds = 0, specdoctor = 0;
@@ -74,6 +75,9 @@ int main() {
   std::printf("  %-34s %s%-11llu %s%.0f\n", "SpecDoctor-like (2 sims/iter)",
               sd_found_all ? "" : ">", (unsigned long long)specdoctor,
               sd_found_all ? "" : ">", sd_effort);
+  json.metric("spectre_iters_with_seeds", static_cast<double>(with_seeds));
+  json.metric("spectre_iters_without_seeds",
+              static_cast<double>(without_seeds));
   if (without_seeds != 0) {
     std::printf("\n  Specure explores %s%.1fx faster than the differential "
                 "baseline (paper: 20x)\n", sd_found_all ? "" : ">=",

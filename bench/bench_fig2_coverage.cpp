@@ -53,7 +53,8 @@ std::size_t iterations_to_reach(const std::vector<double>& series,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson json(argc, argv, "fig2_coverage");
   const std::uint64_t iters = env_u64("SPECURE_FIG2_ITERS", 4000);
   const int reps = 3;
 
@@ -84,6 +85,9 @@ int main() {
       cc_iters, lp_iters, speedup);
   std::printf("  worst-case code-coverage lag behind LP: %.1f%%\n",
               100.0 * worst_lag);
+  json.metric("lp_vs_codecov_exploration_speedup", speedup);
+  json.metric("worst_case_codecov_lag_pct", 100.0 * worst_lag);
+  json.metric("lp_final_covered", lp.back());
   bench::note("paper: 5149 vs 798 iterations = 6.45x; worst-case lag 10.2%");
 
   bench::header("D1 ablation: LP covering policy (1 rep)");

@@ -27,16 +27,24 @@ double time_pdlc(const ift::Ifg& ifg, bool reverse, std::size_t& count) {
       .count();
 }
 
-void report_config(const char* name, const sim::CoreConfig& cfg) {
+void report_config(const char* name, const sim::CoreConfig& cfg,
+                   const char* key = "", bench::BenchJson* json = nullptr) {
   const core::OfflineResult off = core::run_offline_phase(cfg);
   std::printf("  %-22s |R|=%6zu  |F|=%6zu  ifg=%.3fs  PDLC=%6zu  pdlc=%.3fs\n",
               name, off.ifg.node_count(), off.ifg.edge_count(),
               off.ifg_seconds, off.pdlc.size(), off.pdlc_seconds);
+  if (json != nullptr) {
+    json->metric(std::string(key) + "_ifg_seconds", off.ifg_seconds);
+    json->metric(std::string(key) + "_pdlc_seconds", off.pdlc_seconds);
+    json->metric(std::string(key) + "_pdlc_count",
+                 static_cast<double>(off.pdlc.size()));
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson json(argc, argv, "offline_phase");
   bench::header("E1/E2: Offline Phase (paper 4.1)");
   bench::note("paper/BOOM: |R|=162631 |F|=428245 (~9 min); PDLC=9048 (~3 min)");
 
@@ -49,10 +57,10 @@ int main() {
   both.vuln.mwait_emulation = true;
   both.vuln.zenbleed_emulation = true;
 
-  report_config("MiniBOOM", plain);
+  report_config("MiniBOOM", plain, "plain", &json);
   report_config("MiniBOOM+mwait", mwait);
   report_config("MiniBOOM+zenbleed", zenbleed);
-  report_config("MiniBOOM+both", both);
+  report_config("MiniBOOM+both", both, "full", &json);
 
   bench::header("D2 ablation: reverse (skewed-aware) vs forward DFS");
   const ift::Ifg ifg = sim::build_ifg(both);
@@ -66,6 +74,7 @@ int main() {
               rev_s);
   std::printf("  forward: %6zu channels in %.4fs (x5 reps)  speedup=%.2fx\n",
               fwd_count, fwd_s, fwd_s / (rev_s > 0 ? rev_s : 1e-9));
+  json.metric("reverse_vs_forward_speedup", fwd_s / (rev_s > 0 ? rev_s : 1e-9));
 
   bench::header("External-RTL path (Pyverilog-substitute front-end)");
   const std::string verilog = sim::emit_structural_verilog(both);

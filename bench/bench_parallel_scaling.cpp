@@ -26,40 +26,52 @@ int main(int argc, char** argv) {
               ", hardware threads: " +
               std::to_string(std::thread::hardware_concurrency()));
 
-  std::printf("  %-8s %-12s %-10s %-12s %-10s %-12s\n", "jobs", "seconds",
-              "iters/sec", "speedup", "lp-cov", "peak-rss");
+  std::printf("  %-8s %-6s %-12s %-10s %-12s %-10s %-12s\n", "jobs", "ckpt",
+              "seconds", "iters/sec", "speedup", "lp-cov", "peak-rss");
   double base_ips = 0;
   std::size_t base_lp = 0;
-  for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
-    core::CampaignSpec spec;
-    spec.rng_seed = 1;
-    spec.jobs = jobs;
-    spec.batch_size = kBatch;
-    spec.budget.iterations = kIters;
-    const core::CampaignResult result = bench::run_spec(spec);
-    const double ips =
-        result.seconds > 0
-            ? static_cast<double>(result.history.size()) / result.seconds
-            : 0.0;
-    const std::size_t lp =
-        result.history.empty() ? 0 : result.history.back().covered_pdlc;
-    if (jobs == 1) {
-      base_ips = ips;
-      base_lp = lp;
-    }
-    std::printf("  %-8zu %-12.3f %-10.1f %-12.2f %-10zu %zu KiB\n", jobs,
-                result.seconds, ips, base_ips > 0 ? ips / base_ips : 0.0, lp,
-                peak_rss_kib());
-    json.metric("iters_per_sec_jobs" + std::to_string(jobs), ips);
-    if (lp != base_lp) {
-      std::printf("  !! determinism violation: lp-cov %zu != %zu at jobs=1\n",
-                  lp, base_lp);
-      return 1;
+  bool base_set = false;
+  // checkpoint=off rows first (the cold baseline), then the default
+  // checkpointed rows — every row runs the same campaign, so lp-cov must
+  // agree across the whole matrix (jobs AND checkpoint invariance).
+  for (const bool checkpoint : {false, true}) {
+    for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+      if (!checkpoint && jobs != 1 && jobs != 4) continue;
+      core::CampaignSpec spec;
+      spec.rng_seed = 1;
+      spec.jobs = jobs;
+      spec.batch_size = kBatch;
+      spec.budget.iterations = kIters;
+      spec.checkpoint = checkpoint;
+      const core::CampaignResult result = bench::run_spec(spec);
+      const double ips =
+          result.seconds > 0
+              ? static_cast<double>(result.history.size()) / result.seconds
+              : 0.0;
+      const std::size_t lp =
+          result.history.empty() ? 0 : result.history.back().covered_pdlc;
+      if (!base_set) {
+        base_ips = ips;
+        base_lp = lp;
+        base_set = true;
+      }
+      std::printf("  %-8zu %-6s %-12.3f %-10.1f %-12.2f %-10zu %zu KiB\n",
+                  jobs, checkpoint ? "on" : "off", result.seconds, ips,
+                  base_ips > 0 ? ips / base_ips : 0.0, lp, peak_rss_kib());
+      json.metric("iters_per_sec_jobs" + std::to_string(jobs) +
+                      (checkpoint ? "" : "_nockpt"),
+                  ips);
+      if (lp != base_lp) {
+        std::printf("  !! determinism violation: lp-cov %zu != %zu at the "
+                    "jobs=1 checkpoint=off baseline\n",
+                    lp, base_lp);
+        return 1;
+      }
     }
   }
   json.metric("peak_rss_kib", static_cast<double>(peak_rss_kib()));
-  bench::note("speedup is relative to jobs=1; campaign results are "
-              "identical across rows by construction");
+  bench::note("speedup is relative to jobs=1 checkpoint=off; campaign "
+              "results are identical across rows by construction");
   bench::note("peak-rss is the process high-water mark (monotonic across "
               "rows); worker traces are delta-native, O(changes) each");
   return 0;

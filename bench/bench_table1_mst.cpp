@@ -7,7 +7,8 @@
 
 using namespace specure;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson json(argc, argv, "table1_mst");
   bench::header("E3 / Table 1: Misspeculation Table (MST)");
   bench::note("paper row 1: '1  34594  34625  FBEC52E3  BGE S8, T5, 0x800025B0'");
 
@@ -26,5 +27,10 @@ int main() {
   std::printf(
       "\n  campaign: %zu windows total, %zu misspeculated, over 300 inputs\n",
       result.total_windows, result.mispredicted_windows);
+  json.metric("total_windows", static_cast<double>(result.total_windows));
+  json.metric("mispredicted_windows",
+              static_cast<double>(result.mispredicted_windows));
+  json.metric("iters_per_sec",
+              result.seconds > 0 ? result.history.size() / result.seconds : 0);
   return 0;
 }

@@ -112,7 +112,8 @@ Cell run_exhaustive(const sim::VulnConfig& vuln, const std::string& pattern,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchJson json(argc, argv, "table2_detection");
   bench::header("E4 / Table 2: detection effectiveness (Y=detected)");
   const std::uint64_t budget = env_u64("SPECURE_T2_BUDGET", 12000);
   const std::uint64_t mwait_budget =
@@ -160,6 +161,11 @@ int main() {
               (unsigned long long)sp_v2.iterations,
               (unsigned long long)sp_mw.iterations,
               (unsigned long long)sp_zb.iterations);
+  json.metric("first_detection_v1", static_cast<double>(sp_v1.iterations));
+  json.metric("first_detection_v2", static_cast<double>(sp_v2.iterations));
+  json.metric("first_detection_mwait", static_cast<double>(sp_mw.iterations));
+  json.metric("first_detection_zenbleed",
+              static_cast<double>(sp_zb.iterations));
   bench::note("paper: Specure detects all four; SpecDoctor cannot detect the");
   bench::note("emulated pair within 24h; exhaustive methods hit state explosion.");
   if (!sp_mw.detected) {

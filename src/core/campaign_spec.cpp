@@ -194,6 +194,8 @@ const std::vector<KeyDef>& key_table() {
              [](CampaignSpec& s, const std::string& v) {
                s.batch_size = static_cast<std::size_t>(parse_u64("batch", v));
              }},
+      SPEC_BOOL("checkpoint", "campaign", checkpoint),
+      SPEC_SIZE("checkpoint_cache_mb", "campaign", checkpoint_cache_mb),
       SPEC_SIZE("mst_rows", "campaign", mst_sample_rows),
       SPEC_U64("progress_interval", "campaign", progress_interval),
       KeyDef{"vcd_out", "campaign", true,
@@ -554,6 +556,10 @@ void CampaignSpec::validate() const {
   }
   if (triage == TriageMode::kFull && triage_out.empty()) {
     bad("triage_out must name a directory when triage = full");
+  }
+  if (checkpoint && checkpoint_cache_mb == 0) {
+    bad("checkpoint_cache_mb must be >= 1 when checkpoint is on (use "
+        "checkpoint=off to disable the fast path instead)");
   }
 
   if (!problems.empty()) {

@@ -93,6 +93,17 @@ struct CampaignSpec {
   /// batch k takes effect in batch k+1 (see core/specure.hpp). 1
   /// reproduces the classic serial feedback loop exactly.
   std::size_t batch_size = 32;
+  /// Checkpointed incremental simulation: workers cache per-corpus-parent
+  /// checkpoint sets and resume mutants from the deepest checkpoint
+  /// preceding their first divergent instruction. Results are
+  /// bit-identical to the cold path (pinned by the checkpoint
+  /// differential suite); off forces every run cold. Automatically
+  /// bypassed when record_dense_trace is set.
+  bool checkpoint = true;
+  /// Total checkpoint-cache budget in MiB, split evenly across workers
+  /// (parent-affinity shards parents across workers, so per-worker
+  /// shares see the parents they are responsible for). LRU beyond it.
+  std::size_t checkpoint_cache_mb = 64;
   /// on_progress event cadence in merged iterations; 0 disables.
   std::uint64_t progress_interval = 500;
   /// When non-empty: directory that receives one VCD waveform per

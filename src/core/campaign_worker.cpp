@@ -4,18 +4,110 @@
 
 namespace specure::core {
 
+const sim::Checkpoint* CheckpointCache::Entry::best_for(
+    std::size_t divergence, std::uint64_t min_cycles) const {
+  // Points are ascending by cycle and their watermarks are
+  // non-decreasing, so the first qualifying point from the back is the
+  // deepest resume.
+  for (auto it = points.rbegin(); it != points.rend(); ++it) {
+    if (it->fetch_watermark < static_cast<std::uint64_t>(divergence)) {
+      return it->cycle >= min_cycles ? &*it : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+CheckpointCache::Entry* CheckpointCache::find(
+    std::uint64_t hash, const riscv::Program& expected) {
+  const auto it = map_.find(hash);
+  if (it == map_.end()) return nullptr;
+  if (!(it->second.program == expected)) return nullptr;  // hash collision
+  it->second.stamp = ++clock_;
+  return &it->second;
+}
+
+CheckpointCache::Entry* CheckpointCache::insert(std::uint64_t hash,
+                                                Entry entry,
+                                                CheckpointStats& stats,
+                                                Entry* recycled) {
+  entry.bytes = sizeof(Entry) + entry.trace.memory_bytes() +
+                entry.commits.size() * sizeof(sim::CommitRecord) +
+                entry.program.code.size() * sizeof(std::uint32_t) +
+                entry.program.data.size();
+  for (const sim::Checkpoint& cp : entry.points) {
+    entry.bytes += cp.memory_bytes();
+  }
+  if (entry.bytes > budget_) return nullptr;  // never cacheable
+  // Replacing an existing entry (the fuzzer regenerated an identical
+  // program) must release its accounted bytes first, or total_ inflates
+  // by the replaced size on every duplicate.
+  const auto existing = map_.find(hash);
+  if (existing != map_.end()) {
+    total_ -= existing->second.bytes;
+    map_.erase(existing);
+  }
+  while (total_ + entry.bytes > budget_ && !map_.empty()) {
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.stamp < victim->second.stamp) victim = it;
+    }
+    total_ -= victim->second.bytes;
+    if (recycled != nullptr) *recycled = std::move(victim->second);
+    map_.erase(victim);
+    ++stats.evictions;
+  }
+  entry.stamp = ++clock_;
+  total_ += entry.bytes;
+  auto [it, inserted] = map_.emplace(hash, std::move(entry));
+  (void)inserted;
+  return &it->second;
+}
+
 CampaignWorker::CampaignWorker(const sim::CoreConfig& core,
                                const OfflineResult& offline,
                                LpPolicy lp_policy,
-                               const DetectorOptions& detector)
+                               const DetectorOptions& detector,
+                               const WorkerCheckpointOptions& checkpoint)
     : sim_(core),
       lp_probe_(offline.ifg, offline.pdlc, sim_.signal_db(), lp_policy),
-      detector_(offline.ifg, offline.pdlc, sim_.signal_db(), detector) {}
+      detector_(offline.ifg, offline.pdlc, sim_.signal_db(), detector),
+      checkpoint_(checkpoint),
+      cache_(checkpoint.cache_bytes),
+      scratch_(&sim_.signal_db()) {}
+
+const sim::RunResult& CampaignWorker::simulate(const fuzz::FuzzJob& job) {
+  pending_points_.clear();
+  const bool fast_path =
+      checkpoint_.enabled && !sim_.config().record_dense_trace;
+  if (fast_path && job.has_parent && job.divergence > 0) {
+    CheckpointCache::Entry* entry = cache_.find(job.parent_hash, job.parent);
+    if (entry != nullptr) {
+      const sim::Checkpoint* cp =
+          entry->best_for(job.divergence, checkpoint_.min_resume_cycles);
+      if (cp != nullptr) {
+        ++stats_.resumed;
+        stats_.resumed_cycles += cp->cycle;
+        sim_.run_from(*cp, entry->trace, entry->commits, job.program,
+                      scratch_);
+        return scratch_;
+      }
+    }
+  }
+  ++stats_.cold;
+  if (fast_path) {
+    // Emit checkpoints as a side effect (~1% of the run): if this
+    // program later becomes a corpus parent, its resume points are
+    // already on this worker (parent-affinity routes its children here).
+    sim_.run(job.program, checkpoint_.cadence, pending_points_, scratch_);
+  } else {
+    sim_.run(job.program, scratch_);
+  }
+  return scratch_;
+}
 
 WorkerResult CampaignWorker::process(
-    const fuzz::FuzzJob& job,
-    const std::vector<bool>* lp_already_covered) const {
-  sim::RunResult run = sim_.run(job.program);
+    const fuzz::FuzzJob& job, const std::vector<bool>* lp_already_covered) {
+  const sim::RunResult& run = simulate(job);
 
   WorkerResult out;
   out.iteration = job.iteration;
@@ -25,8 +117,28 @@ WorkerResult CampaignWorker::process(
   // The detector never sees the test input; stamp it so confirmed
   // findings stay re-simulatable (waveform export, triage minimization).
   for (VulnReport& report : out.reports) report.program = job.program;
-  out.coverage = std::move(run.coverage);
+  out.coverage = std::move(scratch_.coverage);
   out.cycles = run.cycles;
+
+  // Donate the finished cold run to the checkpoint cache (the analysis
+  // above is done with the trace; the merger never sees it anyway). An
+  // evicted entry hands its trace/commit buffers back to the scratch
+  // RunResult, so steady-state donation costs no allocator round trips.
+  if (!pending_points_.empty()) {
+    ++stats_.insertions;
+    CheckpointCache::Entry fresh;
+    fresh.program = job.program;
+    fresh.points = std::move(pending_points_);
+    fresh.trace = std::move(scratch_.trace);
+    fresh.commits = std::move(scratch_.commits);
+    CheckpointCache::Entry recycled;
+    cache_.insert(job.program.hash(), std::move(fresh), stats_, &recycled);
+    if (!recycled.program.empty()) {  // an entry was actually evicted
+      scratch_.trace = std::move(recycled.trace);
+      scratch_.commits = std::move(recycled.commits);
+    }
+    pending_points_.clear();
+  }
   return out;
 }
 

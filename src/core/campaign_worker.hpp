@@ -4,19 +4,34 @@
 // Each worker owns a private sim::Simulator (schema-identical across
 // workers: all derive from the same CoreConfig, so snapshot signal ids
 // agree) and performs the entire per-iteration heavy lifting off-thread:
-// simulate the program on a cold core, extract the misspeculation table,
-// probe LP coverage straight off the delta-native trace, and run the
+// simulate the program, extract the misspeculation table, probe LP
+// coverage straight off the delta-native trace, and run the
 // vulnerability detector. The output is a compact WorkerResult — the
-// run trace (already O(changes), not O(cycles × signals)) is dropped
-// before the result travels to the merger, so a deep batch stays cheap
-// to buffer.
+// run trace (already O(changes), not O(cycles × signals)) stays in the
+// worker's reusable scratch RunResult, so a deep batch stays cheap to
+// buffer and no trace/commit/data buffers are reallocated per run.
 //
-// process() is const and touches only worker-owned or read-only shared
-// state (the OfflineResult's IFG/PDLC), so any number of workers may run
-// concurrently.
+// Simulation takes the checkpoint fast path when it can: every cold run
+// emits a checkpoint set as a side effect (~1% overhead) and donates its
+// trace, commit log and checkpoints to a budgeted LRU cache keyed by
+// program hash (CheckpointCache) — so when a run's program later becomes
+// a corpus parent, its checkpoints are already waiting. A job carrying
+// mutation locality (FuzzJob::parent + divergence) resumes from the
+// deepest parent checkpoint whose fetch watermark precedes the
+// divergence — bit-identical to the cold run by the Simulator::run_from
+// contract — and falls back to the cold path on any miss. The
+// scheduler's parent-affinity routing sends all children of one parent
+// to the same worker so its cache sees every reuse.
+//
+// process() touches worker-owned state (scratch buffers, the checkpoint
+// cache) plus read-only shared state (the OfflineResult's IFG/PDLC), so
+// any number of workers may run concurrently as long as each instance is
+// driven by one thread at a time — which the session's per-worker job
+// groups guarantee.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/coverage_calc.hpp"
@@ -41,26 +56,108 @@ struct WorkerResult {
   std::uint64_t cycles = 0;
 };
 
+/// Worker-side checkpoint policy (derived from the spec's `checkpoint`
+/// and `checkpoint_cache_mb` keys).
+struct WorkerCheckpointOptions {
+  bool enabled = true;
+  std::size_t cache_bytes = 64ull << 20;
+  sim::CheckpointOptions cadence;
+  /// Resuming shallower than this many cycles is not worth the state
+  /// restore + trace fork; take the cold path instead.
+  std::uint64_t min_resume_cycles = 48;
+};
+
+/// Wall-clock telemetry of the fast path (never affects results).
+struct CheckpointStats {
+  std::uint64_t resumed = 0;        ///< jobs served by run_from
+  std::uint64_t cold = 0;           ///< jobs served by the cold path
+  std::uint64_t insertions = 0;     ///< cold runs donated to the cache
+  std::uint64_t evictions = 0;      ///< LRU entries dropped for budget
+  std::uint64_t resumed_cycles = 0; ///< prefix cycles skipped in total
+};
+
+/// Budgeted LRU map: program hash → that run's full trace, commit log
+/// and checkpoint set. One entry serves every child of the program once
+/// it becomes a corpus parent; the budget (bytes, not entries) bounds
+/// worker memory. Lookups on behalf of children LRU-bump the entry, so
+/// live parents survive the churn of never-selected runs.
+class CheckpointCache {
+ public:
+  struct Entry {
+    riscv::Program program;  ///< collision guard: verified on find()
+    snapshot::Trace trace{nullptr};
+    std::vector<sim::CommitRecord> commits;
+    std::vector<sim::Checkpoint> points;  ///< ascending by cycle
+    std::size_t bytes = 0;
+    std::uint64_t stamp = 0;  ///< LRU clock
+
+    /// Deepest checkpoint usable for a child whose first divergent
+    /// instruction index is `divergence`, ignoring checkpoints shallower
+    /// than `min_cycles`; nullptr when none qualifies.
+    const sim::Checkpoint* best_for(std::size_t divergence,
+                                    std::uint64_t min_cycles) const;
+  };
+
+  explicit CheckpointCache(std::size_t budget_bytes)
+      : budget_(budget_bytes) {}
+
+  /// Lookup + LRU bump. Verifies the stored program against `expected`
+  /// so a hash collision degrades to a miss, never a wrong resume.
+  Entry* find(std::uint64_t hash, const riscv::Program& expected);
+
+  /// Insert (computing the entry's byte size), evicting least-recently
+  /// used entries until the budget holds. Returns the stored entry, or
+  /// nullptr when the entry alone exceeds the whole budget. When
+  /// `recycled` is non-null it receives one evicted entry (if any was
+  /// dropped), so the caller can reclaim its buffers instead of freeing
+  /// and reallocating them next run.
+  Entry* insert(std::uint64_t hash, Entry entry, CheckpointStats& stats,
+                Entry* recycled = nullptr);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t total_bytes() const { return total_; }
+
+ private:
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::size_t budget_;
+  std::size_t total_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
 class CampaignWorker {
  public:
   CampaignWorker(const sim::CoreConfig& core, const OfflineResult& offline,
-                 LpPolicy lp_policy, const DetectorOptions& detector);
+                 LpPolicy lp_policy, const DetectorOptions& detector,
+                 const WorkerCheckpointOptions& checkpoint = {});
 
-  /// Simulate and analyze one job. Thread-safe with respect to other
-  /// workers' process() calls. `lp_already_covered`, when given, is the
-  /// merger map's covered_mask() frozen for the duration of the batch;
-  /// channels covered there are not re-probed, so worker cost falls as
-  /// campaign coverage saturates (matching the serial engine's update()).
+  /// Simulate and analyze one job. Safe to run concurrently with other
+  /// workers' process() calls; a single worker must be driven by one
+  /// thread at a time. `lp_already_covered`, when given, is the merger
+  /// map's covered_mask() frozen for the duration of the batch; channels
+  /// covered there are not re-probed, so worker cost falls as campaign
+  /// coverage saturates (matching the serial engine's update()).
   WorkerResult process(const fuzz::FuzzJob& job,
-                       const std::vector<bool>* lp_already_covered =
-                           nullptr) const;
+                       const std::vector<bool>* lp_already_covered = nullptr);
 
   const sim::Simulator& simulator() const { return sim_; }
+  const CheckpointStats& checkpoint_stats() const { return stats_; }
+  const CheckpointCache& checkpoint_cache() const { return cache_; }
 
  private:
+  /// Run the job into the scratch RunResult, via checkpoint resume when
+  /// a usable parent checkpoint exists, cold otherwise.
+  const sim::RunResult& simulate(const fuzz::FuzzJob& job);
+
   sim::Simulator sim_;
   LpCoverageMap lp_probe_;  ///< used const-only (probe), never committed
   VulnerabilityDetector detector_;
+  WorkerCheckpointOptions checkpoint_;
+  CheckpointCache cache_;
+  CheckpointStats stats_;
+  sim::RunResult scratch_;  ///< reused across iterations (buffer reuse)
+  /// Checkpoints emitted by the most recent cold run, pending donation
+  /// to the cache once process() is done with the trace.
+  std::vector<sim::Checkpoint> pending_points_;
 };
 
 }  // namespace specure::core

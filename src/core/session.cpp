@@ -1,5 +1,6 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -125,10 +126,20 @@ CampaignResult Session::run() {
   // references the LP prober and detector hold into them) at stable
   // addresses.
   if (workers_.empty()) {
+    WorkerCheckpointOptions checkpoint;
+    // The dense reference recorder has no resume prefix; fall back to
+    // all-cold rather than rejecting the (debug-only) combination.
+    checkpoint.enabled = spec_.checkpoint && !spec_.core.record_dense_trace;
+    // The spec budget is the campaign total; each worker gets an even
+    // share (affinity shards parents, so shares don't overlap).
+    checkpoint.cache_bytes =
+        std::max<std::size_t>((spec_.checkpoint_cache_mb << 20) / jobs,
+                              std::size_t{1} << 20);
     workers_.reserve(jobs);
     for (std::size_t w = 0; w < jobs; ++w) {
       workers_.push_back(std::make_unique<CampaignWorker>(
-          spec_.core, offline_, spec_.lp_policy, spec_.detector));
+          spec_.core, offline_, spec_.lp_policy, spec_.detector,
+          checkpoint));
     }
     pool_ = std::make_unique<util::ThreadPool>(jobs);
   }
@@ -143,17 +154,51 @@ CampaignResult Session::run() {
 
   bool stopped = false;
   std::vector<WorkerResult> results;
+  std::vector<std::vector<std::size_t>> groups(jobs);
   while (!stopped) {
     const std::vector<fuzz::FuzzJob> batch = scheduler.next_batch(batch_size);
     if (batch.empty()) break;
 
     results.clear();
     results.resize(batch.size());
+    // Parent-affinity routing: each job is pinned to the worker that
+    // holds (or will build) its corpus parent's checkpoint set, so the
+    // per-worker checkpoint caches see every reuse opportunity. The
+    // assignment depends only on job content — never on timing — so
+    // results stay bit-identical for any worker count.
+    for (auto& group : groups) group.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      groups[CampaignScheduler::worker_for(batch[i], jobs)].push_back(i);
+    }
+    // Rebalance: a batch dominated by one parent (small early corpus,
+    // replay seeds) would otherwise serialize on a single worker. Spill
+    // overflow beyond an even share to the least-loaded groups — worker
+    // results are assignment-independent, so this affects only which
+    // cache sees which job, never the campaign result.
+    if (jobs > 1) {
+      const std::size_t share = (batch.size() + jobs - 1) / jobs;
+      std::vector<std::size_t> overflow;
+      for (auto& group : groups) {
+        while (group.size() > share) {
+          overflow.push_back(group.back());
+          group.pop_back();
+        }
+      }
+      for (const std::size_t task : overflow) {
+        auto* least = &groups.front();
+        for (auto& group : groups) {
+          if (group.size() < least->size()) least = &group;
+        }
+        least->push_back(task);
+      }
+    }
     // The merger is quiescent until the batch completes, so its covered
     // bitmap is a stable read-only snapshot for every worker.
     const std::vector<bool>& lp_covered = merger.lp_covered_mask();
-    pool.parallel_for(batch.size(), [&](std::size_t task, std::size_t ctx) {
-      results[task] = workers_[ctx]->process(batch[task], &lp_covered);
+    pool.parallel_for(jobs, [&](std::size_t worker, std::size_t) {
+      for (const std::size_t task : groups[worker]) {
+        results[task] = workers_[worker]->process(batch[task], &lp_covered);
+      }
     });
 
     // Merge in iteration order; feedback earned here shapes the corpus the

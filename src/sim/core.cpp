@@ -1,6 +1,8 @@
 #include "sim/core.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "util/bits.hpp"
 
@@ -83,44 +85,8 @@ std::uint64_t extend_load(Op op, std::uint64_t raw) {
   }
 }
 
-struct RobEntry {
-  bool valid = false;
-  std::uint64_t seq = 0;  ///< monotonically increasing issue order
-  std::uint64_t pc = 0;
-  DecodedInst dec;
-  bool done = false;
-  bool squashed = false;
-  std::uint64_t ready_cycle = 0;
-
-  bool writes_rd = false;
-  PhysReg new_phys = 0;
-  PhysReg old_phys = 0;
-  std::uint64_t result = 0;
-  bool result_tainted = false;
-
-  bool is_ctrl = false;       ///< conditional branch or JALR
-  bool unsafe = false;        ///< unresolved speculative window opener
-  bool resolved = false;
-  bool mispredicted = false;
-  bool pred_taken = false;
-  std::uint64_t pred_next = 0;
-  bool actual_taken = false;
-  std::uint64_t actual_next = 0;
-
-  bool is_store = false;
-  std::uint64_t mem_addr = 0;
-  std::uint64_t store_value = 0;
-  unsigned mem_size = 0;
-
-  bool writes_csr = false;
-  std::uint16_t csr_addr = 0;
-  std::uint64_t csr_wval = 0;
-
-  bool is_halt = false;  ///< ECALL/EBREAK
-};
-
-/// One cold core executing one program. Lives for the duration of a
-/// Simulator::run call.
+/// One core executing one program (cold, or resumed from a Checkpoint).
+/// Lives for the duration of a Simulator::run / run_from call.
 class Core {
  public:
   Core(const CoreConfig& cfg, const std::vector<SigDesc>& descs,
@@ -141,14 +107,43 @@ class Core {
     });
   }
 
-  RunResult run(const riscv::Program& program) {
-    RunResult res(&db_);
+  /// Cold run, optionally emitting resume checkpoints.
+  void run(const riscv::Program& program, RunResult& res,
+           const CheckpointOptions* ck, std::vector<Checkpoint>* out) {
+    res.reset();
     if (cfg_.record_dense_trace) {
       res.dense_trace = std::make_unique<snapshot::DenseTrace>(&db_);
     }
     mem_.load(program);
+    build_decode_cache(program);
     fetch_pc_ = riscv::kCodeBase;
+    loop(res, ck, out);
+  }
 
+  /// Resume `program` from a checkpoint of its parent. The caller
+  /// (Simulator::run_from) has already seeded `res` with the prefix
+  /// trace, commits, coverage and instruction count.
+  void resume(const Checkpoint& cp, const riscv::Program& program,
+              RunResult& res) {
+    restore_state(cp.state);
+    // The restored memory is the parent's image at the checkpoint cycle;
+    // only the code differs between parent and child below the fetch
+    // watermark contract, so patching the code image suffices.
+    mem_.set_code(program.code);
+    build_decode_cache(program);
+    loop(res, nullptr, nullptr);
+  }
+
+ private:
+  void loop(RunResult& res, const CheckpointOptions* ck,
+            std::vector<Checkpoint>* out) {
+    // Checkpoint cadence: geometric at first (the fetch watermark races
+    // through the program in the earliest cycles, so late saves there
+    // would skip the low-watermark states mutants actually resume from),
+    // then steady every `interval` cycles.
+    std::uint64_t gap =
+        ck != nullptr ? std::min<std::uint64_t>(8, ck->interval) : 0;
+    std::uint64_t next_save = cycle_ + gap;
     while (!halted_ && cycle_ < cfg_.max_cycles) {
       ++cycle_;
       begin_cycle();
@@ -157,22 +152,165 @@ class Core {
       issue(res);
       csr_.tick();
       capture(res);
+      // The end-of-run probe below observes the code image via
+      // fetch_word(), so a checkpoint saved after it has the probe's
+      // index folded into its watermark — resume re-evaluates the probe
+      // on the child's image and cannot diverge.
       if (rob_count_ == 0 && fetch_done()) break;
+      if (ck != nullptr && cycle_ >= next_save) {
+        if (!halted_) push_checkpoint(*ck, *out, res);
+        gap = std::min(gap * 2, ck->interval);
+        next_save = cycle_ + gap;
+      }
     }
     res.cycles = cycle_;
     res.halted_clean = halted_ || (rob_count_ == 0 && fetch_done());
     res.final_data = mem_.data_image();
-    return res;
   }
 
- private:
   // ------------------------------------------------------------ helpers --
   unsigned rob_next(unsigned i) const { return (i + 1) % rob_.size(); }
   bool rob_full() const { return rob_count_ == rob_.size(); }
 
-  bool fetch_done() const {
-    return mem_.fetch(fetch_pc_) == 0 && fetch_pc_ >= riscv::kCodeBase &&
+  /// Every instruction-memory observation funnels through here so the
+  /// fetch watermark (max code word index the run has depended on) stays
+  /// exact — it is what bounds checkpoint reuse for mutated programs.
+  /// The index is clamped to the image length: a beyond-image fetch
+  /// (wrong-path jump to garbage) observes only (word = 0, index >=
+  /// length), which fuzz::first_divergence already accounts for by
+  /// capping the divergence at the shorter length when lengths differ —
+  /// so such probes must not disqualify in-image prefix reuse.
+  std::uint32_t fetch_word(std::uint64_t pc) {
+    if (pc >= riscv::kCodeBase) {
+      const std::uint64_t index = std::min<std::uint64_t>(
+          (pc - riscv::kCodeBase) / 4, mem_.code_words());
+      if (index > fetch_watermark_) fetch_watermark_ = index;
+    }
+    return mem_.fetch(pc);
+  }
+
+  bool fetch_done() {
+    return fetch_word(fetch_pc_) == 0 && fetch_pc_ >= riscv::kCodeBase &&
            (fetch_pc_ - riscv::kCodeBase) / 4 >= mem_.code_words();
+  }
+
+  // --------------------------------------------------------- decode cache --
+  /// Decode the whole program once per run; the fetch path then reads
+  /// DecodedInsts by index instead of re-decoding the same word every
+  /// cycle (stalled issues re-enter issue() each cycle).
+  void build_decode_cache(const riscv::Program& program) {
+    decoded_.clear();
+    decoded_.reserve(program.code.size());
+    for (const std::uint32_t word : program.code) {
+      decoded_.push_back(riscv::decode(word));
+    }
+  }
+
+  const DecodedInst& decode_at(std::uint64_t pc, std::uint32_t word) {
+    if (pc >= riscv::kCodeBase && (pc & 3) == 0) {
+      const std::uint64_t index = (pc - riscv::kCodeBase) / 4;
+      if (index < decoded_.size()) return decoded_[index];
+    }
+    // Off-image or misaligned fetch: `word` is 0 there (Memory::fetch),
+    // identical to the pre-cache decode(0) path.
+    scratch_dec_ = riscv::decode(word);
+    return scratch_dec_;
+  }
+
+  // --------------------------------------------------------- checkpoints --
+  void save_state(CoreState& s) const {
+    mem_.save(s.mem);
+    bp_.save(s.bp);
+    csr_.save(s.csr);
+    rename_.save(s.rename);
+    tlb_.save(s.tlb);
+    dcache_.save(s.dcache);
+    s.rob = rob_;
+    s.rob_head = rob_head_;
+    s.rob_tail = rob_tail_;
+    s.rob_count = rob_count_;
+    s.seq = seq_;
+    s.prf_ready = prf_ready_;
+    s.prf_taint = prf_taint_;
+    s.fetch_pc = fetch_pc_;
+    s.cycle = cycle_;
+    s.halted = halted_;
+    s.fetch_stalled = fetch_stalled_;
+    s.fetch_watermark = fetch_watermark_;
+    s.brupdate_valid = brupdate_valid_;
+    s.brupdate_mispredict = brupdate_mispredict_;
+    s.commit_valid = commit_valid_;
+    s.commit_pc = commit_pc_;
+    s.commit_inst = commit_inst_;
+    s.commit_rd = commit_rd_;
+    s.tainted_access = tainted_access_;
+    s.exec_result = exec_result_;
+    s.lsu_addr = lsu_addr_;
+    s.lsu_load_data = lsu_load_data_;
+  }
+
+  void restore_state(const CoreState& s) {
+    mem_.restore(s.mem);
+    bp_.restore(s.bp);
+    csr_.restore(s.csr);
+    rename_.restore(s.rename);
+    tlb_.restore(s.tlb);
+    dcache_.restore(s.dcache);
+    rob_ = s.rob;
+    rob_head_ = s.rob_head;
+    rob_tail_ = s.rob_tail;
+    rob_count_ = s.rob_count;
+    seq_ = s.seq;
+    prf_ready_ = s.prf_ready;
+    prf_taint_ = s.prf_taint;
+    fetch_pc_ = s.fetch_pc;
+    cycle_ = s.cycle;
+    halted_ = s.halted;
+    fetch_stalled_ = s.fetch_stalled;
+    fetch_watermark_ = s.fetch_watermark;
+    brupdate_valid_ = s.brupdate_valid;
+    brupdate_mispredict_ = s.brupdate_mispredict;
+    commit_valid_ = s.commit_valid;
+    commit_pc_ = s.commit_pc;
+    commit_inst_ = s.commit_inst;
+    commit_rd_ = s.commit_rd;
+    tainted_access_ = s.tainted_access;
+    exec_result_ = s.exec_result;
+    lsu_addr_ = s.lsu_addr;
+    lsu_load_data_ = s.lsu_load_data;
+  }
+
+  void push_checkpoint(const CheckpointOptions& opt,
+                       std::vector<Checkpoint>& out, const RunResult& res) {
+    Checkpoint cp;
+    save_state(cp.state);
+    cp.cycle = cycle_;
+    cp.fetch_watermark = fetch_watermark_;
+    cp.commit_count = res.commits.size();
+    cp.instructions_committed = res.instructions_committed;
+    cp.coverage = res.coverage;
+    if (!out.empty() && out.back().fetch_watermark == fetch_watermark_) {
+      // Same watermark plateau (e.g. a loop spinning below it): a later
+      // cycle strictly dominates, so overwrite instead of accumulating.
+      out.back() = std::move(cp);
+      return;
+    }
+    if (out.size() >= opt.max_checkpoints) {
+      // At capacity on a new plateau: thin the densest region (smallest
+      // cycle gap to its predecessor) instead of dropping the new, deep
+      // point — late resume points are the ones that skip the most work.
+      std::size_t victim = 1;
+      std::uint64_t best_gap = ~std::uint64_t{0};
+      for (std::size_t i = 1; i < out.size(); ++i) {
+        const std::uint64_t gap = out[i].cycle - out[i - 1].cycle;
+        if (gap < best_gap) {
+          best_gap = gap;
+          victim = i;
+        }
+      }
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    out.push_back(std::move(cp));
   }
 
   bool store_overlap(std::uint64_t addr, unsigned size) const {
@@ -351,8 +489,8 @@ class Core {
 
   void issue(RunResult& res) {
     if (halted_ || rob_full() || fetch_stalled_) return;
-    const std::uint32_t word = mem_.fetch(fetch_pc_);
-    const DecodedInst dec = riscv::decode(word);
+    const std::uint32_t word = fetch_word(fetch_pc_);
+    const DecodedInst& dec = decode_at(fetch_pc_, word);
     res.coverage.branch("decode.valid", dec.valid());
 
     if (!dec.valid()) {
@@ -733,6 +871,10 @@ class Core {
   std::uint64_t cycle_ = 0;
   bool halted_ = false;
   bool fetch_stalled_ = false;  ///< pending trap (ECALL/EBREAK/illegal)
+  std::uint64_t fetch_watermark_ = 0;
+
+  std::vector<DecodedInst> decoded_;  ///< per-program decode cache
+  DecodedInst scratch_dec_;           ///< off-image decode_at() result
 
   // Pulse / bus state for snapshots.
   bool brupdate_valid_ = false;
@@ -750,6 +892,21 @@ class Core {
 
 }  // namespace
 
+void RunResult::reset() {
+  trace.reset();
+  dense_trace.reset();
+  commits.clear();
+  coverage.clear();
+  cycles = 0;
+  instructions_committed = 0;
+  halted_clean = false;
+  final_data.clear();
+}
+
+std::size_t Checkpoint::memory_bytes() const {
+  return state.memory_bytes() + coverage.memory_bytes() + sizeof(Checkpoint);
+}
+
 Simulator::Simulator(CoreConfig cfg) : cfg_(cfg) {
   descs_ = describe_signals(cfg_);
   for (const auto& d : descs_) {
@@ -758,8 +915,60 @@ Simulator::Simulator(CoreConfig cfg) : cfg_(cfg) {
 }
 
 RunResult Simulator::run(const riscv::Program& program) const {
+  RunResult res(&db_);
+  run(program, res);
+  return res;
+}
+
+void Simulator::run(const riscv::Program& program, RunResult& out) const {
   Core core(cfg_, descs_, db_);
-  return core.run(program);
+  core.run(program, out, nullptr, nullptr);
+}
+
+void Simulator::run(const riscv::Program& program,
+                    const CheckpointOptions& options,
+                    std::vector<Checkpoint>& checkpoints,
+                    RunResult& out) const {
+  if (cfg_.record_dense_trace) {
+    throw std::runtime_error(
+        "checkpointed runs do not support record_dense_trace (the dense "
+        "reference recorder has no resume prefix); use the cold path");
+  }
+  checkpoints.clear();
+  Core core(cfg_, descs_, db_);
+  core.run(program, out, &options, &checkpoints);
+}
+
+void Simulator::run_from(const Checkpoint& checkpoint,
+                         const snapshot::Trace& parent_trace,
+                         const std::vector<CommitRecord>& parent_commits,
+                         const riscv::Program& program,
+                         RunResult& out) const {
+  if (cfg_.record_dense_trace) {
+    throw std::runtime_error(
+        "run_from does not support record_dense_trace; use the cold path");
+  }
+  if (checkpoint.commit_count > parent_commits.size()) {
+    throw std::runtime_error(
+        "run_from: checkpoint commit prefix (" +
+        std::to_string(checkpoint.commit_count) +
+        " records) exceeds the parent commit log (" +
+        std::to_string(parent_commits.size()) + ")");
+  }
+  // Seed the run accumulators with the parent prefix, reusing out's
+  // buffers; the core then continues from checkpoint.cycle + 1.
+  parent_trace.fork_into(checkpoint.cycle, out.trace);
+  out.dense_trace.reset();
+  out.commits.assign(parent_commits.begin(),
+                     parent_commits.begin() +
+                         static_cast<std::ptrdiff_t>(checkpoint.commit_count));
+  out.coverage = checkpoint.coverage;
+  out.instructions_committed = checkpoint.instructions_committed;
+  out.cycles = 0;
+  out.halted_clean = false;
+  out.final_data.clear();
+  Core core(cfg_, descs_, db_);
+  core.resume(checkpoint, program, out);
 }
 
 }  // namespace specure::sim

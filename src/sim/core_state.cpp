@@ -1,0 +1,25 @@
+#include "sim/core_state.hpp"
+
+namespace specure::sim {
+
+std::size_t CoreState::memory_bytes() const {
+  std::size_t bytes = sizeof(CoreState);
+  bytes += mem.code.size() * sizeof(std::uint32_t);
+  bytes += mem.data.size();
+  bytes += bp.pht.size();
+  bytes += (bp.btb_tag.size() + bp.btb_target.size() + bp.ras.size()) *
+           sizeof(std::uint64_t);
+  bytes += rename.freelist.size() * sizeof(PhysReg);
+  bytes += rename.prf.size() * sizeof(std::uint64_t);
+  bytes += rename.checkpoints.size() *
+           (sizeof(unsigned) + sizeof(std::array<PhysReg, 32>));
+  bytes += tlb.valid.size();
+  bytes += (tlb.vpn.size() + tlb.ppn.size()) * sizeof(std::uint64_t);
+  bytes += dcache.lines.size() * sizeof(DcacheState::Line);
+  bytes += dcache.lru.size();
+  bytes += rob.size() * sizeof(RobEntry);
+  bytes += (prf_ready.size() + prf_taint.size()) / 8;
+  return bytes;
+}
+
+}  // namespace specure::sim

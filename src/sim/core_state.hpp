@@ -1,0 +1,117 @@
+// CoreState — the complete per-run microarchitectural state of the
+// MiniBOOM core as one snapshotable value: every component's state
+// (memory image, branch predictor, CSR file, rename stage, TLB, data
+// cache) plus the pipeline itself (ROB contents, register-ready/taint
+// bits, fetch/cycle cursors and the per-cycle pulse signals).
+//
+// Core::save_state/restore_state copy a live core to/from a CoreState;
+// together with snapshot::Trace::fork_at this is what makes
+// Simulator::run_from possible: a campaign worker checkpoints a corpus
+// parent mid-run and resumes mutants from the deepest checkpoint whose
+// fetch watermark precedes the mutation's first divergent instruction
+// (see docs/ARCHITECTURE.md, "Checkpointed incremental simulation").
+//
+// Everything here is plain copyable data — no pointers into the live
+// core, no hooks (the dcache line-change hook is wiring, re-attached by
+// the owning Core), and no RNG cursors (the core model is fully
+// deterministic; per-job RNG streams live in the fuzz layer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "riscv/decode.hpp"
+#include "sim/bpred.hpp"
+#include "sim/cache.hpp"
+#include "sim/csr_file.hpp"
+#include "sim/memory.hpp"
+#include "sim/rename.hpp"
+#include "sim/tlb.hpp"
+
+namespace specure::sim {
+
+/// One reorder-buffer slot. Lives in core_state.hpp (not core.cpp) so a
+/// CoreState can carry in-flight instructions across save/restore.
+struct RobEntry {
+  bool valid = false;
+  std::uint64_t seq = 0;  ///< monotonically increasing issue order
+  std::uint64_t pc = 0;
+  riscv::DecodedInst dec;
+  bool done = false;
+  bool squashed = false;
+  std::uint64_t ready_cycle = 0;
+
+  bool writes_rd = false;
+  PhysReg new_phys = 0;
+  PhysReg old_phys = 0;
+  std::uint64_t result = 0;
+  bool result_tainted = false;
+
+  bool is_ctrl = false;       ///< conditional branch or JALR
+  bool unsafe = false;        ///< unresolved speculative window opener
+  bool resolved = false;
+  bool mispredicted = false;
+  bool pred_taken = false;
+  std::uint64_t pred_next = 0;
+  bool actual_taken = false;
+  std::uint64_t actual_next = 0;
+
+  bool is_store = false;
+  std::uint64_t mem_addr = 0;
+  std::uint64_t store_value = 0;
+  unsigned mem_size = 0;
+
+  bool writes_csr = false;
+  std::uint16_t csr_addr = 0;
+  std::uint64_t csr_wval = 0;
+
+  bool is_halt = false;  ///< ECALL/EBREAK
+};
+
+struct CoreState {
+  // Component state.
+  MemoryState mem;
+  BpredState bp;
+  CsrState csr;
+  RenameState rename;
+  TlbState tlb;
+  DcacheState dcache;
+
+  // Pipeline state.
+  std::vector<RobEntry> rob;
+  unsigned rob_head = 0;
+  unsigned rob_tail = 0;
+  unsigned rob_count = 0;
+  std::uint64_t seq = 0;
+  std::vector<bool> prf_ready;
+  std::vector<bool> prf_taint;
+
+  // Cursors and flags.
+  std::uint64_t fetch_pc = 0;
+  std::uint64_t cycle = 0;
+  bool halted = false;
+  bool fetch_stalled = false;
+  /// Highest code-image word index any fetch has observed so far,
+  /// including wrong-path and end-of-program probes. A checkpoint is
+  /// valid for a mutant iff the mutant's first divergent instruction
+  /// index is strictly greater than this watermark.
+  std::uint64_t fetch_watermark = 0;
+
+  // Per-cycle pulse / bus values (captured signals).
+  bool brupdate_valid = false;
+  bool brupdate_mispredict = false;
+  bool commit_valid = false;
+  std::uint64_t commit_pc = 0;
+  std::uint64_t commit_inst = 0;
+  std::uint64_t commit_rd = 0;
+  bool tainted_access = false;
+  std::uint64_t exec_result = 0;
+  std::uint64_t lsu_addr = 0;
+  std::uint64_t lsu_load_data = 0;
+
+  /// Approximate heap footprint, the unit the worker-side checkpoint
+  /// cache budgets (`checkpoint_cache_mb`).
+  std::size_t memory_bytes() const;
+};
+
+}  // namespace specure::sim

@@ -63,4 +63,18 @@ void RenameStage::squash_free(PhysReg new_phys) {
   if (new_phys != 0) freelist_.push_back(new_phys);
 }
 
+void RenameStage::save(RenameState& out) const {
+  out.maptable = maptable_;
+  out.freelist = freelist_;
+  out.prf = prf_;
+  out.checkpoints = checkpoints_;
+}
+
+void RenameStage::restore(const RenameState& state) {
+  maptable_ = state.maptable;
+  freelist_ = state.freelist;
+  prf_ = state.prf;
+  checkpoints_ = state.checkpoints;
+}
+
 }  // namespace specure::sim

@@ -19,6 +19,16 @@ namespace specure::sim {
 
 using PhysReg = std::uint16_t;
 
+/// Snapshotable rename state (part of sim::CoreState). Includes the
+/// per-branch map-table checkpoints so a restored core can still roll
+/// back branches that were in flight when the snapshot was taken.
+struct RenameState {
+  std::array<PhysReg, 32> maptable{};
+  std::vector<PhysReg> freelist;
+  std::vector<std::uint64_t> prf;
+  std::map<unsigned, std::array<PhysReg, 32>> checkpoints;
+};
+
 class RenameStage {
  public:
   explicit RenameStage(const CoreConfig& cfg);
@@ -66,6 +76,10 @@ class RenameStage {
   std::uint64_t maptable_raw(unsigned arch) const { return maptable_[arch]; }
   std::size_t free_count() const { return freelist_.size(); }
   unsigned phys_count() const { return cfg_.phys_regs; }
+
+  // Checkpointing.
+  void save(RenameState& out) const;
+  void restore(const RenameState& state);
 
  private:
   const CoreConfig& cfg_;

@@ -49,7 +49,7 @@ void Trace::begin_cycle(std::uint64_t cycle) {
   // keyframes_[k] always holds the state after tick k * kKeyframeInterval.
   const std::size_t done = cycles_.size();
   if (done >= 1 && (done - 1) % kKeyframeInterval == 0) {
-    keyframes_.push_back(live_);
+    keyframes_.insert(keyframes_.end(), live_.begin(), live_.end());
   }
   cycles_.push_back(cycle);
   offsets_.push_back(event_ids_.size());
@@ -88,6 +88,43 @@ void Trace::push(const Snapshot& snap) {
   for (SignalId i = 0; i < snap.values.size(); ++i) record(i, snap.values[i]);
 }
 
+void Trace::reset() {
+  cycles_.clear();
+  offsets_.clear();
+  event_ids_.clear();
+  event_values_.clear();
+  live_.clear();
+  keyframes_.clear();
+  contiguous_ = true;
+}
+
+Trace Trace::fork_at(std::uint64_t cycle) const {
+  Trace out(db_);
+  fork_into(cycle, out);
+  return out;
+}
+
+void Trace::fork_into(std::uint64_t cycle, Trace& out) const {
+  const std::size_t t = index_of(cycle);  // throws naming the covered range
+  out.db_ = db_;
+  out.cycles_.assign(cycles_.begin(), cycles_.begin() + t + 1);
+  out.offsets_.assign(offsets_.begin(), offsets_.begin() + t + 1);
+  const std::size_t events = tick_end(t);
+  out.event_ids_.assign(event_ids_.begin(), event_ids_.begin() + events);
+  out.event_values_.assign(event_values_.begin(),
+                           event_values_.begin() + events);
+  materialize(t, out.live_);
+  // A cold recording of ticks 0..t would have keyframed the state after
+  // tick m * kKeyframeInterval for every m with m * kKeyframeInterval
+  // <= t - 1 (the keyframe is pushed when the *next* tick begins).
+  const std::size_t keyframes = t == 0 ? 0 : (t - 1) / kKeyframeInterval + 1;
+  out.keyframes_.assign(
+      keyframes_.begin(),
+      keyframes_.begin() +
+          static_cast<std::ptrdiff_t>(keyframes * db_->size()));
+  out.contiguous_ = cycles_[t] - cycles_[0] == t;
+}
+
 std::size_t Trace::memory_bytes() const {
   std::size_t bytes = 0;
   bytes += event_ids_.size() * sizeof(SignalId);
@@ -95,7 +132,7 @@ std::size_t Trace::memory_bytes() const {
   bytes += cycles_.size() * sizeof(std::uint64_t);
   bytes += offsets_.size() * sizeof(std::size_t);
   bytes += live_.size() * sizeof(std::uint64_t);
-  for (const auto& kf : keyframes_) bytes += kf.size() * sizeof(std::uint64_t);
+  bytes += keyframes_.size() * sizeof(std::uint64_t);
   return bytes;
 }
 
@@ -131,16 +168,16 @@ std::size_t Trace::index_of(std::uint64_t cycle) const {
 
 std::size_t Trace::seed_from_keyframe(std::size_t index,
                                       std::vector<std::uint64_t>& out) const {
-  const std::size_t k = index / kKeyframeInterval;
-  if (k < keyframes_.size()) {
-    out = keyframes_[k];
+  const std::size_t n = db_->size();
+  std::size_t k = index / kKeyframeInterval;
+  const std::size_t frames = keyframe_count();
+  if (k >= frames && frames > 0) k = frames - 1;
+  if (k < frames) {
+    out.assign(keyframes_.begin() + static_cast<std::ptrdiff_t>(k * n),
+               keyframes_.begin() + static_cast<std::ptrdiff_t>((k + 1) * n));
     return k * kKeyframeInterval + 1;
   }
-  if (!keyframes_.empty()) {
-    out = keyframes_.back();
-    return (keyframes_.size() - 1) * kKeyframeInterval + 1;
-  }
-  out.assign(db_->size(), 0);
+  out.assign(n, 0);
   return 0;
 }
 
@@ -176,15 +213,14 @@ Snapshot Trace::operator[](std::size_t index) const {
 std::uint64_t Trace::value_at(std::uint64_t cycle, SignalId id) const {
   const std::size_t index = index_of(cycle);
   if (index + 1 == cycles_.size()) return live_[id];
-  const std::size_t k = index / kKeyframeInterval;
+  std::size_t k = index / kKeyframeInterval;
+  const std::size_t frames = keyframe_count();
+  if (k >= frames && frames > 0) k = frames - 1;
   std::uint64_t v = 0;
   std::size_t tick = 0;
-  if (k < keyframes_.size()) {
-    v = keyframes_[k][id];
+  if (k < frames) {
+    v = keyframes_[k * db_->size() + id];
     tick = k * kKeyframeInterval + 1;
-  } else if (!keyframes_.empty()) {
-    v = keyframes_.back()[id];
-    tick = (keyframes_.size() - 1) * kKeyframeInterval + 1;
   }
   for (; tick <= index; ++tick) {
     for (std::size_t e = tick_begin(tick); e < tick_end(tick); ++e) {

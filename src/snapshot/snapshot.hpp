@@ -81,6 +81,26 @@ class Trace {
   /// order). Equivalent to begin_cycle + record per signal.
   void push(const Snapshot& snap);
 
+  /// Drop every recorded tick but keep the allocated column capacity, so
+  /// a worker can reuse one Trace across runs without reallocating the
+  /// event columns each iteration.
+  void reset();
+
+  // ---- forking (checkpoint resume) ---------------------------------------
+  /// A trace holding exactly the ticks up to and including `cycle`, laid
+  /// out byte-identically to what recording only those ticks would have
+  /// produced (same events, same keyframe grid, same live array), and
+  /// ready to continue recording from the next cycle. This is how a
+  /// checkpoint-resumed run inherits its parent's event prefix. Throws
+  /// std::runtime_error naming the covered range when `cycle` was never
+  /// recorded (fork at cycle 0 or past end-of-trace).
+  Trace fork_at(std::uint64_t cycle) const;
+
+  /// Buffer-reusing fork: like fork_at, but fills `out` in place
+  /// (reusing its column capacity). `out` is re-bound to this trace's
+  /// SignalDb.
+  void fork_into(std::uint64_t cycle, Trace& out) const;
+
   // ---- shape ------------------------------------------------------------
   std::size_t size() const { return cycles_.size(); }
   bool empty() const { return cycles_.empty(); }
@@ -179,8 +199,14 @@ class Trace {
   /// Values after the last recorded tick — the simulator's previous-value
   /// array that record() detects changes against.
   std::vector<std::uint64_t> live_;
-  /// keyframes_[k] = values after tick k * kKeyframeInterval.
-  std::vector<std::vector<std::uint64_t>> keyframes_;
+  /// Flat keyframe store, one frame of db_->size() values per
+  /// kKeyframeInterval ticks: frame k (values after tick
+  /// k * kKeyframeInterval) lives at [k * size, (k + 1) * size). Flat so
+  /// recording allocates one growing buffer, not one vector per frame.
+  std::vector<std::uint64_t> keyframes_;
+  std::size_t keyframe_count() const {
+    return db_->size() == 0 ? 0 : keyframes_.size() / db_->size();
+  }
   bool contiguous_ = true;  ///< cycle stamps are base, base+1, base+2, ...
 };
 

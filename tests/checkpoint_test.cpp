@@ -1,0 +1,458 @@
+// Checkpointed incremental simulation: Trace::fork_at edge cases,
+// fuzz::first_divergence, Simulator checkpoint emission, and the core
+// contract — run_from(checkpoint, mutant) is bit-identical to a cold run
+// of the mutant whenever the mutation's first divergent instruction lies
+// beyond the checkpoint's fetch watermark.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/campaign_scheduler.hpp"
+#include "core/campaign_spec.hpp"
+#include "core/campaign_worker.hpp"
+#include "core/offline.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutator.hpp"
+#include "sim/core.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/vcd.hpp"
+#include "util/rng.hpp"
+
+namespace specure {
+namespace {
+
+using riscv::Program;
+
+// ------------------------------------------------------------ helpers ----
+
+snapshot::SignalDb tiny_db() {
+  snapshot::SignalDb db;
+  db.add("t.a", 64, snapshot::SignalClass::kMicroarchitectural, true);
+  db.add("t.b", 32, snapshot::SignalClass::kArchitectural, true);
+  db.add("t.c", 1, snapshot::SignalClass::kWire, false);
+  return db;
+}
+
+/// Record `ticks` pseudo-random cycles into a fresh trace.
+snapshot::Trace record_random(const snapshot::SignalDb& db, std::size_t ticks,
+                              std::uint64_t seed, std::size_t from = 0,
+                              snapshot::Trace* continue_into = nullptr) {
+  util::Rng rng(seed);
+  snapshot::Trace local(&db);
+  snapshot::Trace& t = continue_into != nullptr ? *continue_into : local;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    const std::uint64_t a = rng.below(4);
+    const std::uint64_t b = rng.below(3);
+    const std::uint64_t c = rng.below(2);
+    if (i < from) continue;  // consume the same RNG stream, skip recording
+    t.begin_cycle(i + 1);
+    t.record(0, a);
+    t.record(1, b);
+    t.record(2, c);
+  }
+  return t;
+}
+
+void expect_trace_identical(const snapshot::Trace& a,
+                            const snapshot::Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.event_count(), b.event_count());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a.cycle_at(t), b.cycle_at(t));
+    ASSERT_EQ(a.tick_begin(t), b.tick_begin(t));
+    ASSERT_EQ(a.tick_end(t), b.tick_end(t));
+    for (std::size_t e = a.tick_begin(t); e < a.tick_end(t); ++e) {
+      ASSERT_EQ(a.event_id(e), b.event_id(e));
+      ASSERT_EQ(a.event_value(e), b.event_value(e));
+    }
+  }
+  if (!a.empty()) {
+    const auto last_a = a[a.size() - 1];
+    const auto last_b = b[b.size() - 1];
+    EXPECT_EQ(last_a.values, last_b.values);
+  }
+  EXPECT_EQ(a.memory_bytes(), b.memory_bytes());
+}
+
+std::string vcd_of(const snapshot::Trace& t) {
+  std::ostringstream os;
+  snapshot::write_vcd(os, t);
+  return os.str();
+}
+
+void expect_run_identical(const sim::RunResult& a, const sim::RunResult& b) {
+  expect_trace_identical(a.trace, b.trace);
+  ASSERT_EQ(a.commits.size(), b.commits.size());
+  for (std::size_t i = 0; i < a.commits.size(); ++i) {
+    EXPECT_EQ(a.commits[i].cycle, b.commits[i].cycle);
+    EXPECT_EQ(a.commits[i].pc, b.commits[i].pc);
+    EXPECT_EQ(a.commits[i].inst, b.commits[i].inst);
+    EXPECT_EQ(a.commits[i].writes_rd, b.commits[i].writes_rd);
+    EXPECT_EQ(a.commits[i].rd, b.commits[i].rd);
+    EXPECT_EQ(a.commits[i].writes_csr, b.commits[i].writes_csr);
+    EXPECT_EQ(a.commits[i].csr, b.commits[i].csr);
+    EXPECT_EQ(a.commits[i].is_store, b.commits[i].is_store);
+    EXPECT_EQ(a.commits[i].store_addr, b.commits[i].store_addr);
+  }
+  EXPECT_EQ(a.coverage.points(), b.coverage.points());
+  EXPECT_EQ(a.coverage.toggle_bits(), b.coverage.toggle_bits());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions_committed, b.instructions_committed);
+  EXPECT_EQ(a.halted_clean, b.halted_clean);
+  EXPECT_EQ(a.final_data, b.final_data);
+}
+
+/// Draw a corpus-shaped program: seeds then mutations, like a campaign.
+std::vector<Program> sample_programs(std::size_t count, std::uint64_t seed) {
+  fuzz::FuzzerOptions options;
+  fuzz::Fuzzer fuzzer(options, seed);
+  std::vector<Program> out;
+  for (std::size_t i = 0; i < count; ++i) out.push_back(fuzzer.next());
+  return out;
+}
+
+// ------------------------------------------------- Trace::fork_at edges ----
+
+TEST(TraceFork, AtCycleZeroThrowsNamingCoveredRange) {
+  const snapshot::SignalDb db = tiny_db();
+  const snapshot::Trace t = record_random(db, 10, 1);
+  try {
+    t.fork_at(0);
+    FAIL() << "fork_at(0) did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("covers cycles 1..10"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceFork, PastEndThrowsNamingCoveredRange) {
+  const snapshot::SignalDb db = tiny_db();
+  const snapshot::Trace t = record_random(db, 10, 1);
+  try {
+    t.fork_at(11);
+    FAIL() << "fork_at past end did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("covers cycles 1..10"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceFork, EmptyTraceThrows) {
+  const snapshot::SignalDb db = tiny_db();
+  const snapshot::Trace t(&db);
+  EXPECT_THROW(t.fork_at(1), std::runtime_error);
+}
+
+TEST(TraceFork, PrefixMatchesColdRecordingEverywhere) {
+  // Forking at cycle c then continuing must be byte-identical to having
+  // recorded the whole stream cold — across keyframe boundaries
+  // (interval 64: ticks 63/64/65), the first tick, and the last.
+  const snapshot::SignalDb db = tiny_db();
+  const std::size_t kTicks = 200;
+  const snapshot::Trace full = record_random(db, kTicks, 42);
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{2},
+                                std::size_t{63}, std::size_t{64},
+                                std::size_t{65}, std::size_t{128},
+                                std::size_t{129}, std::size_t{199},
+                                std::size_t{200}}) {
+    snapshot::Trace forked = full.fork_at(cut);
+    ASSERT_EQ(forked.size(), cut);
+    // The prefix alone must equal a cold recording of the prefix.
+    const snapshot::Trace cold_prefix = record_random(db, cut, 42);
+    expect_trace_identical(forked, cold_prefix);
+    // Continue recording into the fork; the result must equal the full
+    // cold recording (events, keyframes, materialization, VCD bytes).
+    record_random(db, kTicks, 42, cut, &forked);
+    expect_trace_identical(forked, full);
+    for (std::uint64_t c = 1; c <= kTicks; c += 37) {
+      EXPECT_EQ(forked.at_cycle(c).values, full.at_cycle(c).values);
+    }
+    EXPECT_EQ(vcd_of(forked), vcd_of(full));
+  }
+}
+
+TEST(TraceFork, ForkIntoReusesBuffersAndRebinds) {
+  const snapshot::SignalDb db = tiny_db();
+  const snapshot::Trace full = record_random(db, 100, 9);
+  snapshot::Trace out(&db);
+  full.fork_into(64, out);
+  EXPECT_EQ(out.size(), 64u);
+  full.fork_into(7, out);  // shrink in place
+  EXPECT_EQ(out.size(), 7u);
+  expect_trace_identical(out, full.fork_at(7));
+}
+
+TEST(TraceReset, KeepsSchemaDropsData) {
+  const snapshot::SignalDb db = tiny_db();
+  snapshot::Trace t = record_random(db, 80, 3);
+  EXPECT_GT(t.event_count(), 0u);
+  t.reset();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.event_count(), 0u);
+  // Recording after reset behaves like a fresh trace.
+  record_random(db, 80, 3, 0, &t);
+  expect_trace_identical(t, record_random(db, 80, 3));
+}
+
+// ------------------------------------------------- first_divergence ------
+
+TEST(FirstDivergence, IdenticalProgramsNeverDiverge) {
+  const auto progs = sample_programs(4, 11);
+  for (const auto& p : progs) {
+    EXPECT_EQ(fuzz::first_divergence(p, p), fuzz::kNoDivergence);
+  }
+}
+
+TEST(FirstDivergence, FirstDifferingWord) {
+  Program a;
+  a.code = {1, 2, 3, 4, 5};
+  Program b = a;
+  b.code[3] = 99;
+  EXPECT_EQ(fuzz::first_divergence(a, b), 3u);
+  EXPECT_EQ(fuzz::first_divergence(b, a), 3u);
+}
+
+TEST(FirstDivergence, LengthChangeCapsAtShorterLength) {
+  Program a;
+  a.code = {1, 2, 3, 4, 5};
+  Program longer = a;
+  longer.code.push_back(6);  // differs first at index 5 == min length
+  EXPECT_EQ(fuzz::first_divergence(a, longer), 5u);
+  Program shorter = a;
+  shorter.code.pop_back();  // words agree, but the length probe differs
+  EXPECT_EQ(fuzz::first_divergence(a, shorter), 4u);
+  // An early delete shifts everything after it.
+  Program del = a;
+  del.code.erase(del.code.begin() + 1);
+  EXPECT_EQ(fuzz::first_divergence(a, del), 1u);
+}
+
+TEST(FirstDivergence, DataDifferenceIsCycleZero) {
+  Program a;
+  a.code = {1, 2, 3};
+  a.data = {0, 0, 7};
+  Program b = a;
+  b.data[2] = 8;
+  EXPECT_EQ(fuzz::first_divergence(a, b), 0u);
+  // Trailing zeros are not a difference (zero-padded comparison).
+  Program c = a;
+  c.data.push_back(0);
+  c.code[2] = 9;
+  EXPECT_EQ(fuzz::first_divergence(a, c), 2u);
+}
+
+// ---------------------------------------------- checkpoint emission ------
+
+TEST(SimulatorCheckpoint, EmissionShapeAndOrdering) {
+  const sim::CoreConfig cfg;
+  const sim::Simulator sim(cfg);
+  const auto progs = sample_programs(6, 5);
+  sim::RunResult res(&sim.signal_db());
+  std::vector<sim::Checkpoint> points;
+  for (const auto& p : progs) {
+    sim.run(p, sim::CheckpointOptions{}, points, res);
+    if (res.cycles < 16) continue;
+    ASSERT_FALSE(points.empty()) << "no checkpoints for a " << res.cycles
+                                 << "-cycle run";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_LE(points[i].cycle, res.cycles);
+      EXPECT_EQ(points[i].state.cycle, points[i].cycle);
+      EXPECT_LE(points[i].commit_count, res.commits.size());
+      EXPECT_GT(points[i].memory_bytes(), 0u);
+      if (i > 0) {
+        EXPECT_GT(points[i].cycle, points[i - 1].cycle);
+        EXPECT_GT(points[i].fetch_watermark, points[i - 1].fetch_watermark)
+            << "same-watermark points must have been coalesced";
+      }
+    }
+  }
+}
+
+TEST(SimulatorCheckpoint, DenseTraceRecordingIsRejected) {
+  sim::CoreConfig cfg;
+  cfg.record_dense_trace = true;
+  const sim::Simulator sim(cfg);
+  const auto progs = sample_programs(1, 5);
+  sim::RunResult res(&sim.signal_db());
+  std::vector<sim::Checkpoint> points;
+  EXPECT_THROW(sim.run(progs[0], sim::CheckpointOptions{}, points, res),
+               std::runtime_error);
+}
+
+// ------------------------------------------------- run_from == run -------
+
+TEST(RunFrom, BitIdenticalToColdRunForEveryValidCheckpoint) {
+  const sim::CoreConfig cfg;
+  const sim::Simulator sim(cfg);
+  util::Rng rng(123);
+  const auto parents = sample_programs(5, 77);
+
+  std::size_t resumes_checked = 0;
+  for (const auto& parent : parents) {
+    sim::RunResult parent_run(&sim.signal_db());
+    std::vector<sim::Checkpoint> points;
+    sim.run(parent, sim::CheckpointOptions{}, points, parent_run);
+
+    for (int m = 0; m < 8; ++m) {
+      const Program child = fuzz::mutate(parent, rng);
+      const std::size_t divergence = fuzz::first_divergence(parent, child);
+      const sim::RunResult cold = sim.run(child);
+      for (const sim::Checkpoint& cp : points) {
+        if (cp.fetch_watermark >= divergence) continue;
+        sim::RunResult resumed(&sim.signal_db());
+        sim.run_from(cp, parent_run.trace, parent_run.commits, child,
+                     resumed);
+        expect_run_identical(resumed, cold);
+        ++resumes_checked;
+      }
+    }
+  }
+  EXPECT_GT(resumes_checked, 20u)
+      << "mutation sampling produced too few resumable checkpoints for the "
+         "contract to be meaningfully pinned";
+}
+
+TEST(RunFrom, ForkedRunVcdByteIdenticalToColdRun) {
+  const sim::CoreConfig cfg;
+  const sim::Simulator sim(cfg);
+  util::Rng rng(31);
+  const auto parents = sample_programs(3, 15);
+  std::size_t checked = 0;
+  for (const auto& parent : parents) {
+    sim::RunResult parent_run(&sim.signal_db());
+    std::vector<sim::Checkpoint> points;
+    sim.run(parent, sim::CheckpointOptions{}, points, parent_run);
+    const Program child = fuzz::mutate(parent, rng);
+    const std::size_t divergence = fuzz::first_divergence(parent, child);
+    for (const sim::Checkpoint& cp : points) {
+      if (cp.fetch_watermark >= divergence) continue;
+      sim::RunResult resumed(&sim.signal_db());
+      sim.run_from(cp, parent_run.trace, parent_run.commits, child, resumed);
+      EXPECT_EQ(vcd_of(resumed.trace), vcd_of(sim.run(child).trace));
+      ++checked;
+      break;  // one deep checkpoint per parent suffices for the VCD check
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(RunFrom, CommitPrefixOverrunThrows) {
+  const sim::CoreConfig cfg;
+  const sim::Simulator sim(cfg);
+  const auto progs = sample_programs(1, 5);
+  sim::RunResult parent_run(&sim.signal_db());
+  std::vector<sim::Checkpoint> points;
+  sim.run(progs[0], sim::CheckpointOptions{}, points, parent_run);
+  ASSERT_FALSE(points.empty());
+  sim::Checkpoint broken = points.back();
+  broken.commit_count = parent_run.commits.size() + 1;
+  sim::RunResult out(&sim.signal_db());
+  EXPECT_THROW(sim.run_from(broken, parent_run.trace, parent_run.commits,
+                            progs[0], out),
+               std::runtime_error);
+}
+
+// -------------------------------------------- worker checkpoint cache ----
+
+core::WorkerResult process_job(core::CampaignWorker& worker,
+                               const fuzz::FuzzJob& job) {
+  return worker.process(job);
+}
+
+void expect_worker_result_identical(const core::WorkerResult& a,
+                                    const core::WorkerResult& b) {
+  EXPECT_EQ(a.iteration, b.iteration);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].start_cycle, b.windows[i].start_cycle);
+    EXPECT_EQ(a.windows[i].end_cycle, b.windows[i].end_cycle);
+    EXPECT_EQ(a.windows[i].inst, b.windows[i].inst);
+    EXPECT_EQ(a.windows[i].mispredicted, b.windows[i].mispredicted);
+  }
+  EXPECT_EQ(a.lp_hits, b.lp_hits);
+  EXPECT_EQ(a.coverage.points(), b.coverage.points());
+  EXPECT_EQ(a.coverage.toggle_bits(), b.coverage.toggle_bits());
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(core::dedup_key(a.reports[i]), core::dedup_key(b.reports[i]));
+  }
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(WorkerCheckpointCache, FastPathMatchesColdPathJobForJob) {
+  core::CampaignSpec spec;  // default preset
+  const core::OfflineResult offline =
+      core::run_offline_phase(spec.core, spec.pdlc);
+  core::WorkerCheckpointOptions on;
+  core::WorkerCheckpointOptions off;
+  off.enabled = false;
+  core::CampaignWorker fast(spec.core, offline, spec.lp_policy,
+                            spec.detector, on);
+  core::CampaignWorker cold(spec.core, offline, spec.lp_policy,
+                            spec.detector, off);
+
+  core::CampaignScheduler scheduler(spec.fuzzer, 21, 160);
+  std::size_t resumed_before = 0;
+  while (true) {
+    const auto batch = scheduler.next_batch(16);
+    if (batch.empty()) break;
+    for (const auto& job : batch) {
+      expect_worker_result_identical(process_job(fast, job),
+                                     process_job(cold, job));
+      // Everything with coverage feeds back so mutation fan-out exists.
+      scheduler.feedback(job.program, job.iteration);
+    }
+  }
+  resumed_before = fast.checkpoint_stats().resumed;
+  EXPECT_GT(resumed_before, 0u) << "the fast path never engaged";
+  EXPECT_EQ(cold.checkpoint_stats().resumed, 0u);
+  EXPECT_GT(fast.checkpoint_stats().insertions, 0u);
+}
+
+TEST(WorkerCheckpointCache, TinyBudgetEvictsAndStaysCorrect) {
+  core::CampaignSpec spec;
+  const core::OfflineResult offline =
+      core::run_offline_phase(spec.core, spec.pdlc);
+  core::WorkerCheckpointOptions tiny;
+  tiny.cache_bytes = 1 << 20;  // 1 MiB: forces continuous eviction
+  core::WorkerCheckpointOptions off;
+  off.enabled = false;
+  core::CampaignWorker fast(spec.core, offline, spec.lp_policy,
+                            spec.detector, tiny);
+  core::CampaignWorker cold(spec.core, offline, spec.lp_policy,
+                            spec.detector, off);
+  core::CampaignScheduler scheduler(spec.fuzzer, 9, 80);
+  while (true) {
+    const auto batch = scheduler.next_batch(8);
+    if (batch.empty()) break;
+    for (const auto& job : batch) {
+      expect_worker_result_identical(process_job(fast, job),
+                                     process_job(cold, job));
+      scheduler.feedback(job.program, job.iteration);
+    }
+  }
+  EXPECT_LE(fast.checkpoint_cache().total_bytes(), tiny.cache_bytes);
+}
+
+TEST(CheckpointCache, HashCollisionDegradesToMiss) {
+  const sim::CoreConfig cfg;
+  const sim::Simulator sim(cfg);
+  const auto progs = sample_programs(2, 3);
+  core::CheckpointCache cache(64 << 20);
+  core::CheckpointStats stats;
+  core::CheckpointCache::Entry entry;
+  entry.program = progs[0];
+  sim::RunResult run(&sim.signal_db());
+  sim.run(progs[0], sim::CheckpointOptions{}, entry.points, run);
+  entry.trace = std::move(run.trace);
+  entry.commits = std::move(run.commits);
+  ASSERT_NE(cache.insert(progs[0].hash(), std::move(entry), stats), nullptr);
+  // Same key, different program: must miss, not resume the wrong parent.
+  EXPECT_EQ(cache.find(progs[0].hash(), progs[1]), nullptr);
+  EXPECT_NE(cache.find(progs[0].hash(), progs[0]), nullptr);
+}
+
+}  // namespace
+}  // namespace specure

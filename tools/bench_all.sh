@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run every bench_* binary with --json and collect the BENCH_*.json
+# metric files in one place (default: the repo root), so every PR leaves
+# a machine-readable perf trajectory behind.
+#
+#   tools/bench_all.sh [BUILD_DIR] [OUT_DIR]
+#
+# BUILD_DIR defaults to ./build, OUT_DIR to the repo root. Google
+# Benchmark binaries (bench_micro) do not speak --json; they get
+# --benchmark_out so their metrics land next to the others. Also
+# available as the CMake target `bench-json`.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_DIR="${2:-$REPO_ROOT}"
+
+if ! ls "$BUILD_DIR"/bench_* >/dev/null 2>&1; then
+  echo "no bench_* binaries in $BUILD_DIR — configure with -DSPECURE_BENCH=ON" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+status=0
+for bench in "$BUILD_DIR"/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  # Detect Google Benchmark harnesses from the bench source (same rule
+  # as CMakeLists.txt); probing by running the binary would execute
+  # non-gbench benches in full.
+  if grep -q "benchmark/benchmark.h" "$REPO_ROOT/bench/$name.cpp" 2>/dev/null; then
+    # Google Benchmark harness: native JSON reporter instead of --json.
+    "$bench" --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
+             --benchmark_out_format=json || status=$?
+  else
+    "$bench" --json "$OUT_DIR" || status=$?
+  fi
+done
+
+echo
+echo "collected metric files:"
+ls -l "$OUT_DIR"/BENCH_*.json
+exit "$status"
