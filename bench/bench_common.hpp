@@ -125,6 +125,25 @@ inline core::CampaignResult run_spec(
   return session.run();
 }
 
+/// run_spec plus the session's per-stage pipeline timing — the scaling
+/// benches break a campaign's wall-clock into generate / execute /
+/// queue-wait / merge so a throughput regression names its stage.
+struct SpecRunStats {
+  core::CampaignResult result;
+  core::PipelineStats pipeline;
+};
+
+inline SpecRunStats run_spec_with_stats(
+    const core::CampaignSpec& spec,
+    core::Session::StopCondition stop = nullptr) {
+  core::Session session(spec);
+  if (stop) session.add_stop(std::move(stop));
+  SpecRunStats out;
+  out.result = session.run();
+  out.pipeline = session.pipeline_stats();
+  return out;
+}
+
 /// The paper reports wall-clock hours on a 32-core Xeon running RTL
 /// simulation; our PUT is a fast C++ model, so we report iterations plus a
 /// derived wall-clock using the paper's own scale: SpecDoctor's published

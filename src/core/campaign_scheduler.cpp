@@ -20,6 +20,13 @@ std::vector<fuzz::FuzzJob> CampaignScheduler::next_batch(
   return fuzzer_.next_batch(count);
 }
 
+bool CampaignScheduler::next_job(fuzz::FuzzJob& out) {
+  if (issued_ >= total_iterations_) return false;
+  ++issued_;
+  out = fuzzer_.next_job();
+  return true;
+}
+
 std::size_t CampaignScheduler::worker_for(const fuzz::FuzzJob& job,
                                           std::size_t workers) {
   if (workers <= 1) return 0;

@@ -26,6 +26,11 @@ class CampaignScheduler {
   /// Empty result means the campaign budget is exhausted.
   std::vector<fuzz::FuzzJob> next_batch(std::size_t batch_size);
 
+  /// Draw one job (the sliding-window executor's per-merge refill).
+  /// False means the campaign budget is exhausted. Drawing n jobs this
+  /// way consumes exactly the stream of one next_batch(n) call.
+  bool next_job(fuzz::FuzzJob& out);
+
   /// Corpus feedback from the merger: the program run as `iteration` was
   /// interesting (new coverage or a finding). Takes effect for every batch
   /// drawn after this call.

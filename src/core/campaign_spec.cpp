@@ -194,6 +194,20 @@ const std::vector<KeyDef>& key_table() {
              [](CampaignSpec& s, const std::string& v) {
                s.batch_size = static_cast<std::size_t>(parse_u64("batch", v));
              }},
+      KeyDef{"pipeline", "campaign", true,
+             [](const CampaignSpec& s) {
+               return std::string(pipeline_mode_name(s.pipeline));
+             },
+             [](CampaignSpec& s, const std::string& v) {
+               if (v == "window") {
+                 s.pipeline = PipelineMode::kWindow;
+               } else if (v == "barrier") {
+                 s.pipeline = PipelineMode::kBarrier;
+               } else {
+                 throw SpecError("pipeline: '" + v +
+                                 "' is not an executor (window | barrier)");
+               }
+             }},
       SPEC_BOOL("checkpoint", "campaign", checkpoint),
       SPEC_SIZE("checkpoint_cache_mb", "campaign", checkpoint_cache_mb),
       SPEC_SIZE("mst_rows", "campaign", mst_sample_rows),
@@ -305,6 +319,10 @@ std::string_view feedback_mode_name(FeedbackMode mode) {
 
 std::string_view lp_policy_name(LpPolicy policy) {
   return policy == LpPolicy::kAllSignals ? "all-signals" : "endpoints";
+}
+
+std::string_view pipeline_mode_name(PipelineMode mode) {
+  return mode == PipelineMode::kWindow ? "window" : "barrier";
 }
 
 std::string_view triage_mode_name(TriageMode mode) {
@@ -521,6 +539,13 @@ void CampaignSpec::validate() const {
     bad("batch must be >= 1 (got 0); use 1 for the classic serial "
         "feedback loop");
   }
+  // `jobs` and `batch` interact through the sliding window: the executor
+  // keeps at most `batch` jobs in flight across the whole window (job k
+  // is generated only after iteration k - batch merged), so a worker
+  // count above the batch size can never be saturated. Session resolves
+  // jobs = 0 to all hardware threads and clips the result to batch_size;
+  // that clip is a resolution rule, not an error, so an explicit
+  // jobs > batch spec stays valid (it just runs with batch workers).
   if (budget.iterations == 0) {
     bad("iterations must be >= 1 (got 0); campaigns need an iteration "
         "budget");

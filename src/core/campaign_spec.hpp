@@ -69,6 +69,18 @@ enum class TriageMode : std::uint8_t { kOff, kOn, kFull };
 
 std::string_view triage_mode_name(TriageMode mode);
 
+/// Campaign executor strategy. Both modes implement the same sliding-
+/// window generation contract (job k is generated from the merged state
+/// through iteration k - batch_size), so they produce bit-identical
+/// CampaignResults at a fixed seed; they differ only in wall-clock
+/// behaviour. kWindow overlaps generation, simulation and merging with
+/// no global barrier; kBarrier executes one window at a time with a
+/// convoy barrier between execute and merge — kept as the reference
+/// executor the pipelined path is differentially pinned against.
+enum class PipelineMode : std::uint8_t { kWindow, kBarrier };
+
+std::string_view pipeline_mode_name(PipelineMode mode);
+
 struct SpecField {
   std::string key;      ///< flat override key, e.g. "rob_entries"
   std::string section;  ///< TOML section: "", "core", "fuzzer", ...
@@ -89,10 +101,17 @@ struct CampaignSpec {
   /// Simulation worker count; 0 = all hardware threads. Never affects
   /// campaign results, only wall-clock time.
   std::size_t jobs = 0;
-  /// Jobs simulated concurrently per batch; corpus feedback earned in
-  /// batch k takes effect in batch k+1 (see core/specure.hpp). 1
-  /// reproduces the classic serial feedback loop exactly.
+  /// The sliding-window width W: job k is generated from the merged
+  /// campaign state through iteration k - W, so at most W jobs are ever
+  /// in flight (see core/specure.hpp). Raising W trades corpus-feedback
+  /// latency for parallelism; 1 reproduces the classic serial
+  /// generate -> simulate -> feed-back loop exactly.
   std::size_t batch_size = 32;
+  /// Executor strategy: window (pipelined, default) | barrier (the
+  /// batch-synchronous reference executor). Never affects campaign
+  /// results — both implement the same generation contract — only
+  /// wall-clock scaling.
+  PipelineMode pipeline = PipelineMode::kWindow;
   /// Checkpointed incremental simulation: workers cache per-corpus-parent
   /// checkpoint sets and resume mutants from the deepest checkpoint
   /// preceding their first divergent instruction. Results are

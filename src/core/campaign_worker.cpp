@@ -105,14 +105,18 @@ const sim::RunResult& CampaignWorker::simulate(const fuzz::FuzzJob& job) {
   return scratch_;
 }
 
-WorkerResult CampaignWorker::process(
-    const fuzz::FuzzJob& job, const std::vector<bool>* lp_already_covered) {
+void CampaignWorker::process(const fuzz::FuzzJob& job,
+                             const util::AtomicBitset* lp_already_covered,
+                             WorkerResult& out) {
+  // Recycle the shell's coverage buckets into the scratch RunResult
+  // before the run (the simulator resets them keeping capacity), closing
+  // the buffer-reuse loop across the executor's queue boundary.
+  scratch_.coverage = std::move(out.coverage);
   const sim::RunResult& run = simulate(job);
 
-  WorkerResult out;
   out.iteration = job.iteration;
-  out.windows = extract_mst(run.trace);
-  out.lp_hits = lp_probe_.probe(run.trace, out.windows, lp_already_covered);
+  extract_mst(run.trace, out.windows);
+  lp_probe_.probe(run.trace, out.windows, lp_already_covered, out.lp_hits);
   out.reports = detector_.analyze(run, out.windows);
   // The detector never sees the test input; stamp it so confirmed
   // findings stay re-simulatable (waveform export, triage minimization).
@@ -139,7 +143,6 @@ WorkerResult CampaignWorker::process(
     }
     pending_points_.clear();
   }
-  return out;
 }
 
 }  // namespace specure::core

@@ -130,14 +130,28 @@ class CampaignWorker {
                  LpPolicy lp_policy, const DetectorOptions& detector,
                  const WorkerCheckpointOptions& checkpoint = {});
 
-  /// Simulate and analyze one job. Safe to run concurrently with other
-  /// workers' process() calls; a single worker must be driven by one
-  /// thread at a time. `lp_already_covered`, when given, is the merger
-  /// map's covered_mask() frozen for the duration of the batch; channels
-  /// covered there are not re-probed, so worker cost falls as campaign
-  /// coverage saturates (matching the serial engine's update()).
+  /// Simulate and analyze one job, writing into `out` (cleared first;
+  /// its windows/lp_hits/coverage buffers are reused, so recycling one
+  /// shell across iterations costs no allocator round trips). Safe to
+  /// run concurrently with other workers' process() calls; a single
+  /// worker must be driven by one thread at a time. `lp_already_covered`,
+  /// when given, is the merger's atomic covered shadow; channels covered
+  /// there are not re-probed, so worker cost falls as campaign coverage
+  /// saturates (matching the serial engine's update()). The shadow may
+  /// be mutated concurrently by the merger — stale reads only cost a
+  /// redundant probe, never a result difference.
+  void process(const fuzz::FuzzJob& job,
+               const util::AtomicBitset* lp_already_covered,
+               WorkerResult& out);
+
+  /// Convenience form returning a fresh WorkerResult.
   WorkerResult process(const fuzz::FuzzJob& job,
-                       const std::vector<bool>* lp_already_covered = nullptr);
+                       const util::AtomicBitset* lp_already_covered =
+                           nullptr) {
+    WorkerResult out;
+    process(job, lp_already_covered, out);
+    return out;
+  }
 
   const sim::Simulator& simulator() const { return sim_; }
   const CheckpointStats& checkpoint_stats() const { return stats_; }

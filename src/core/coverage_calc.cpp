@@ -70,13 +70,23 @@ std::size_t LpCoverageMap::update(const snapshot::DenseTrace& trace,
 std::vector<std::size_t> LpCoverageMap::probe(
     const snapshot::Trace& trace,
     const std::vector<SpecWindow>& windows,
-    const std::vector<bool>* already_covered) const {
+    const util::AtomicBitset* already_covered) const {
+  std::vector<std::size_t> out;
+  probe(trace, windows, already_covered, out);
+  return out;
+}
+
+void LpCoverageMap::probe(const snapshot::Trace& trace,
+                          const std::vector<SpecWindow>& windows,
+                          const util::AtomicBitset* already_covered,
+                          std::vector<std::size_t>& out) const {
+  out.clear();
   std::vector<bool> hit(channel_signals_.size(), false);
   for (const auto& w : windows) {
     const auto changed = trace.changed_mask(w.start_cycle, w.end_cycle);
     for (std::size_t c = 0; c < channel_signals_.size(); ++c) {
       if (hit[c] || channel_signals_[c].empty()) continue;
-      if (already_covered && (*already_covered)[c]) continue;
+      if (already_covered && already_covered->test(c)) continue;
       bool all = true;
       for (const auto sid : channel_signals_[c]) {
         if (!changed[sid]) {
@@ -87,11 +97,9 @@ std::vector<std::size_t> LpCoverageMap::probe(
       if (all) hit[c] = true;
     }
   }
-  std::vector<std::size_t> out;
   for (std::size_t c = 0; c < hit.size(); ++c) {
     if (hit[c]) out.push_back(c);
   }
-  return out;
 }
 
 std::size_t LpCoverageMap::commit(const std::vector<std::size_t>& channels) {

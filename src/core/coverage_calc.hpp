@@ -14,6 +14,7 @@
 #include "core/mst.hpp"
 #include "ift/pdlc.hpp"
 #include "snapshot/snapshot.hpp"
+#include "util/atomic_bitset.hpp"
 
 namespace specure::core {
 
@@ -40,15 +41,23 @@ class LpCoverageMap {
   /// call probe() concurrently on their own run data; the single-threaded
   /// merger then applies the hits with commit(). probe()+commit() is
   /// equivalent to update() on one map. `already_covered`, when given, is
-  /// a stable snapshot of another map's covered_mask(): channels set there
-  /// are skipped, which restores update()'s cheap saturated-coverage path
-  /// without sharing mutable state across threads.
+  /// the merger's atomic covered shadow: channels set there are skipped,
+  /// which restores update()'s cheap saturated-coverage path. The shadow
+  /// may be concurrently updated by the merger (pipelined executor) — a
+  /// stale read just re-probes a channel commit() filters idempotently,
+  /// so results never depend on the interleaving. Also usable with the
+  /// out-param overload to reuse the hit vector's capacity.
   std::vector<std::size_t> probe(
       const snapshot::Trace& trace,
       const std::vector<SpecWindow>& windows,
-      const std::vector<bool>* already_covered = nullptr) const;
+      const util::AtomicBitset* already_covered = nullptr) const;
+  void probe(const snapshot::Trace& trace,
+             const std::vector<SpecWindow>& windows,
+             const util::AtomicBitset* already_covered,
+             std::vector<std::size_t>& out) const;
 
   /// Mark probed channels covered; returns the number newly covered.
+  /// Idempotent: already-covered channels count zero.
   std::size_t commit(const std::vector<std::size_t>& channels);
 
   std::size_t covered() const { return covered_count_; }

@@ -17,7 +17,14 @@ bool SpecWindow::has_indirect_opener() const {
 
 std::vector<SpecWindow> extract_mst(const snapshot::Trace& trace) {
   std::vector<SpecWindow> out;
-  if (trace.empty()) return out;
+  extract_mst(trace, out);
+  return out;
+}
+
+void extract_mst(const snapshot::Trace& trace,
+                 std::vector<SpecWindow>& out) {
+  out.clear();
+  if (trace.empty()) return;
   const auto& db = trace.db();
   const std::vector<snapshot::SignalId> ids = {
       db.id_of("core.rob.unsafe"),
@@ -55,7 +62,6 @@ std::vector<SpecWindow> extract_mst(const snapshot::Trace& trace) {
       out.push_back(cur);
     }
   });
-  return out;
 }
 
 std::string format_mst_row(std::size_t id, const SpecWindow& w) {

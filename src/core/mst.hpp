@@ -32,8 +32,11 @@ struct SpecWindow {
 };
 
 /// Scan a trace and build the MST. Windows still open at end-of-trace are
-/// dropped (they never resolved, so no before/after pair exists).
+/// dropped (they never resolved, so no before/after pair exists). The
+/// out-param overload clears `out` first and reuses its capacity (the
+/// campaign workers' per-slot buffer recycling).
 std::vector<SpecWindow> extract_mst(const snapshot::Trace& trace);
+void extract_mst(const snapshot::Trace& trace, std::vector<SpecWindow>& out);
 
 /// Render an MST row like the paper's Table 1:
 /// "1  34594  34625  FBEC52E3  BGE S8, T5, 0x800025B0".

@@ -16,11 +16,12 @@ ResultMerger::ResultMerger(const OfflineResult& offline,
                            std::size_t mst_sample_rows)
     : feedback_(feedback),
       mst_sample_rows_(mst_sample_rows),
-      lp_(offline.ifg, offline.pdlc, db, lp_policy) {
+      lp_(offline.ifg, offline.pdlc, db, lp_policy),
+      covered_shadow_(lp_.total()) {
   result_.pdlc_total = offline.pdlc.size();
 }
 
-bool ResultMerger::merge(WorkerResult result) {
+bool ResultMerger::merge(WorkerResult& result) {
   result_.total_windows += result.windows.size();
   for (const auto& w : result.windows) {
     result_.mispredicted_windows += w.mispredicted;
@@ -30,6 +31,9 @@ bool ResultMerger::merge(WorkerResult result) {
   }
 
   const std::size_t lp_new = lp_.commit(result.lp_hits);
+  // Publish the commits to the atomic shadow workers read concurrently
+  // (fetch_or makes re-publishing already-set channels free).
+  for (const std::size_t c : result.lp_hits) covered_shadow_.set(c);
   const std::size_t cov_new = code_cov_.merge(result.coverage);
 
   // Vulnerability detection counts regardless of the guidance mode.

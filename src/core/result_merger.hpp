@@ -22,6 +22,7 @@
 #include "core/offline.hpp"
 #include "core/vuln_detect.hpp"
 #include "sim/coverage.hpp"
+#include "util/atomic_bitset.hpp"
 
 namespace specure::core {
 
@@ -68,17 +69,31 @@ class ResultMerger {
   /// Returns true when the input was interesting (new coverage under the
   /// configured feedback metric, or a new finding) and should be fed back
   /// to the corpus.
-  bool merge(WorkerResult result);
+  ///
+  /// The by-ref form only moves out what the merged state keeps (the
+  /// deduplicated reports); windows/lp_hits/coverage retain their
+  /// buffers, so the caller can recycle `result` as the scratch shell
+  /// for a later iteration (the pipelined executor's slot reuse).
+  bool merge(WorkerResult& result);
+  bool merge(WorkerResult&& result) { return merge(result); }
 
   /// The campaign state accumulated so far (live view, e.g. for stop
   /// predicates and progress reporting).
   const CampaignResult& result() const { return result_; }
 
-  /// The authoritative LP covered bitmap. Stable while workers run (the
-  /// merger only mutates between batches); handed to CampaignWorker so
-  /// probes skip channels the campaign already covered.
+  /// The authoritative LP covered bitmap (merger-thread view).
   const std::vector<bool>& lp_covered_mask() const {
     return lp_.covered_mask();
+  }
+
+  /// Atomic shadow of the covered bitmap, safe to read from workers
+  /// while the merger keeps merging (the pipelined executor has no
+  /// quiescent point). Monotonic and always a subset of the committed
+  /// state, so worker probes that race with merges can only skip
+  /// channels commit() would have filtered idempotently — the merged
+  /// campaign result never depends on the interleaving.
+  const util::AtomicBitset& lp_covered_shadow() const {
+    return covered_shadow_;
   }
 
   /// Move the finished result out; the merger is spent afterwards.
@@ -88,6 +103,7 @@ class ResultMerger {
   FeedbackMode feedback_;
   std::size_t mst_sample_rows_;
   LpCoverageMap lp_;
+  util::AtomicBitset covered_shadow_;
   sim::CoverageRecorder code_cov_;
   CampaignResult result_;
 };

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "core/campaign_scheduler.hpp"
 #include "snapshot/vcd.hpp"
 #include "util/fs.hpp"
+#include "util/ring.hpp"
 
 namespace specure::core {
 
@@ -96,7 +98,10 @@ std::size_t Session::resolved_jobs() const {
   std::size_t jobs = spec_.jobs;
   if (jobs == 0) jobs = std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 1;
-  // More workers than in-flight jobs per batch would sit idle.
+  // The sliding window keeps at most batch_size jobs in flight across
+  // the whole campaign (job k is generated only after iteration
+  // k - batch_size merged), so workers beyond that count could never be
+  // fed a job; clip rather than park idle threads.
   const std::size_t batch = spec_.batch_size == 0 ? 1 : spec_.batch_size;
   return jobs < batch ? jobs : batch;
 }
@@ -113,7 +118,7 @@ CampaignResult Session::run() {
         .count();
   };
   const std::size_t jobs = resolved_jobs();
-  const std::size_t batch_size = spec_.batch_size == 0 ? 1 : spec_.batch_size;
+  const std::size_t window = spec_.batch_size == 0 ? 1 : spec_.batch_size;
   const CampaignBudget& budget = spec_.budget;
 
   CampaignScheduler scheduler(spec_.fuzzer, spec_.rng_seed,
@@ -141,156 +146,390 @@ CampaignResult Session::run() {
           spec_.core, offline_, spec_.lp_policy, spec_.detector,
           checkpoint));
     }
-    pool_ = std::make_unique<util::ThreadPool>(jobs);
   }
-  util::ThreadPool& pool = *pool_;
 
-  // Plateau bookkeeping: the iteration at which the feedback metric (LP
-  // coverage under lp feedback, code-coverage points under codecov) last
-  // grew. Deterministic — it only depends on merged campaign state.
+  pipeline_stats_ = PipelineStats{};
+  pipeline_stats_.workers.resize(jobs);
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto secs = [](std::chrono::steady_clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  };
+
+  // ---- shared in-order merge step ---------------------------------------
+  // Both executors implement the same generation contract (job k is
+  // generated from the merged state through iteration k - window) and
+  // funnel every result through this single-threaded step, strictly in
+  // iteration order — which is what makes the CampaignResult independent
+  // of the executor and the worker count.
   std::uint64_t last_gain_iteration = 0;
   std::uint64_t last_progress = 0;
   std::uint64_t batch_index = 0;
-
+  std::size_t merges_since_event = 0;
   bool stopped = false;
-  std::vector<WorkerResult> results;
-  std::vector<std::vector<std::size_t>> groups(jobs);
-  while (!stopped) {
-    const std::vector<fuzz::FuzzJob> batch = scheduler.next_batch(batch_size);
-    if (batch.empty()) break;
 
-    results.clear();
-    results.resize(batch.size());
-    // Parent-affinity routing: each job is pinned to the worker that
-    // holds (or will build) its corpus parent's checkpoint set, so the
-    // per-worker checkpoint caches see every reuse opportunity. The
-    // assignment depends only on job content — never on timing — so
-    // results stay bit-identical for any worker count.
-    for (auto& group : groups) group.clear();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      groups[CampaignScheduler::worker_for(batch[i], jobs)].push_back(i);
+  // Deferred waveform export: confirmed findings are recorded here at
+  // merge time and re-simulated after the campaign loop (the merge strand
+  // is the scaling bottleneck; a re-simulation per finding on it was the
+  // single largest serial term). Merge order pins the file set.
+  struct PendingVcd {
+    riscv::Program program;
+    std::uint64_t iteration = 0;
+    std::size_t vuln_begin = 0;
+    std::size_t vuln_end = 0;
+  };
+  std::vector<PendingVcd> pending_vcd;
+
+  const auto merge_one = [&](WorkerResult& result, const fuzz::FuzzJob& job) {
+    const CampaignResult& live = merger.result();
+    const std::size_t prev_lp =
+        live.history.empty() ? 0 : live.history.back().covered_pdlc;
+    const std::size_t prev_points =
+        live.history.empty() ? 0 : live.history.back().coverage_points;
+    const std::size_t prev_vulns = live.vulns.size();
+
+    if (merger.merge(result)) {
+      scheduler.feedback(job.program, job.iteration);
     }
-    // Rebalance: a batch dominated by one parent (small early corpus,
-    // replay seeds) would otherwise serialize on a single worker. Spill
-    // overflow beyond an even share to the least-loaded groups — worker
-    // results are assignment-independent, so this affects only which
-    // cache sees which job, never the campaign result.
-    if (jobs > 1) {
-      const std::size_t share = (batch.size() + jobs - 1) / jobs;
-      std::vector<std::size_t> overflow;
-      for (auto& group : groups) {
-        while (group.size() > share) {
-          overflow.push_back(group.back());
-          group.pop_back();
-        }
-      }
-      for (const std::size_t task : overflow) {
-        auto* least = &groups.front();
-        for (auto& group : groups) {
-          if (group.size() < least->size()) least = &group;
-        }
-        least->push_back(task);
-      }
+
+    const CampaignResult& r = merger.result();
+    const IterationRecord& rec = r.history.back();
+
+    if (rec.covered_pdlc > prev_lp || rec.coverage_points > prev_points) {
+      const CoverageEvent event{rec.iteration,
+                                rec.covered_pdlc - prev_lp,
+                                rec.coverage_points - prev_points,
+                                rec.covered_pdlc, rec.coverage_points};
+      for (const auto& fn : coverage_observers_) fn(event);
     }
-    // The merger is quiescent until the batch completes, so its covered
-    // bitmap is a stable read-only snapshot for every worker.
-    const std::vector<bool>& lp_covered = merger.lp_covered_mask();
-    pool.parallel_for(jobs, [&](std::size_t worker, std::size_t) {
-      for (const std::size_t task : groups[worker]) {
-        results[task] = workers_[worker]->process(batch[task], &lp_covered);
-      }
-    });
+    for (std::size_t v = prev_vulns; v < r.vulns.size(); ++v) {
+      const VulnEvent event{rec.iteration, r.vulns[v]};
+      for (const auto& fn : vuln_observers_) fn(event);
+    }
+    if (!spec_.vcd_out.empty() && r.vulns.size() > prev_vulns) {
+      pending_vcd.push_back(
+          {job.program, rec.iteration, prev_vulns, r.vulns.size()});
+    }
+    if (spec_.progress_interval != 0 &&
+        rec.iteration >= last_progress + spec_.progress_interval) {
+      last_progress = rec.iteration;
+      const ProgressEvent event{rec.iteration,     budget.iterations,
+                                rec.covered_pdlc,  rec.coverage_points,
+                                r.vulns.size(),    elapsed()};
+      for (const auto& fn : progress_observers_) fn(event);
+    }
 
-    // Merge in iteration order; feedback earned here shapes the corpus the
-    // next batch is drawn from (batch-synchronous semantics). Observers
-    // fire here, on the merger thread, after each merged iteration.
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const CampaignResult& live = merger.result();
-      const std::size_t prev_lp =
-          live.history.empty() ? 0 : live.history.back().covered_pdlc;
-      const std::size_t prev_points =
-          live.history.empty() ? 0 : live.history.back().coverage_points;
-      const std::size_t prev_vulns = live.vulns.size();
+    // Budgets + custom stop conditions, all evaluated after the merge.
+    const std::size_t metric = spec_.feedback == FeedbackMode::kLeakagePath
+                                   ? rec.covered_pdlc
+                                   : rec.coverage_points;
+    const std::size_t prev_metric =
+        spec_.feedback == FeedbackMode::kLeakagePath ? prev_lp : prev_points;
+    if (metric > prev_metric) last_gain_iteration = rec.iteration;
 
-      if (merger.merge(std::move(results[i]))) {
-        scheduler.feedback(batch[i].program, batch[i].iteration);
-      }
-
-      const CampaignResult& r = merger.result();
-      const IterationRecord& rec = r.history.back();
-
-      if (rec.covered_pdlc > prev_lp || rec.coverage_points > prev_points) {
-        const CoverageEvent event{rec.iteration,
-                                  rec.covered_pdlc - prev_lp,
-                                  rec.coverage_points - prev_points,
-                                  rec.covered_pdlc, rec.coverage_points};
-        for (const auto& fn : coverage_observers_) fn(event);
-      }
-      for (std::size_t v = prev_vulns; v < r.vulns.size(); ++v) {
-        const VulnEvent event{rec.iteration, r.vulns[v]};
-        for (const auto& fn : vuln_observers_) fn(event);
-      }
-      if (!spec_.vcd_out.empty() && r.vulns.size() > prev_vulns) {
-        // One waveform per confirmed (post-dedup) finding. The worker's
-        // trace is gone by merge time, so the program is re-simulated once
-        // on the session simulator — same config, same seed-free cold
-        // core, hence the identical trace — and only the vulnerability
-        // window is written. Findings are rare, so this stays cheap, and
-        // merge order makes the file set deterministic across jobs. The
-        // scenario name prefixes the file so concurrent Sweep scenarios
-        // can share one vcd_out directory without colliding.
-        const sim::RunResult rerun = sim_.run(batch[i].program);
-        for (std::size_t v = prev_vulns; v < r.vulns.size(); ++v) {
-          const SpecWindow& w = r.vulns[v].window;
-          snapshot::write_vcd_window_file(
-              spec_.vcd_out + "/" + sanitized_scenario_name(spec_.name) +
-                  "_vuln_iter" + std::to_string(rec.iteration) + "_" +
-                  std::to_string(v) + ".vcd",
-              rerun.trace, w.start_cycle, w.end_cycle);
-        }
-      }
-      if (spec_.progress_interval != 0 &&
-          rec.iteration >= last_progress + spec_.progress_interval) {
-        last_progress = rec.iteration;
-        const ProgressEvent event{rec.iteration,     budget.iterations,
-                                  rec.covered_pdlc,  rec.coverage_points,
-                                  r.vulns.size(),    elapsed()};
-        for (const auto& fn : progress_observers_) fn(event);
-      }
-
-      // Budgets + custom stop conditions, all evaluated after the merge.
-      const std::size_t metric = spec_.feedback == FeedbackMode::kLeakagePath
-                                     ? rec.covered_pdlc
-                                     : rec.coverage_points;
-      const std::size_t prev_metric =
-          spec_.feedback == FeedbackMode::kLeakagePath ? prev_lp : prev_points;
-      if (metric > prev_metric) last_gain_iteration = rec.iteration;
-
-      if (budget.max_vulns != 0 && r.vulns.size() >= budget.max_vulns) {
-        stopped = true;
-      }
-      if (budget.plateau != 0 &&
-          rec.iteration - last_gain_iteration >= budget.plateau) {
-        stopped = true;
-      }
-      if (budget.max_seconds > 0 && elapsed() >= budget.max_seconds) {
-        stopped = true;
-      }
-      for (const StopCondition& stop : stops_) {
-        if (stopped) break;
-        if (stop(r)) stopped = true;
-      }
+    if (budget.max_vulns != 0 && r.vulns.size() >= budget.max_vulns) {
+      stopped = true;
+    }
+    if (budget.plateau != 0 &&
+        rec.iteration - last_gain_iteration >= budget.plateau) {
+      stopped = true;
+    }
+    if (budget.max_seconds > 0 && elapsed() >= budget.max_seconds) {
+      stopped = true;
+    }
+    for (const StopCondition& stop : stops_) {
       if (stopped) break;
+      if (stop(r)) stopped = true;
     }
 
-    if (!stopped) {  // a stop mid-batch leaves the batch partially merged
-      const BatchEvent event{batch_index++, batch.size(),
-                             merger.result().history.size()
-                                 ? merger.result().history.back().iteration
-                                 : 0,
-                             elapsed()};
+    // A full window of iterations merged: fire the cadence event (a stop
+    // mid-window leaves the window partially merged, eventless — same as
+    // the old mid-batch stop).
+    ++merges_since_event;
+    if (!stopped && merges_since_event == window) {
+      const BatchEvent event{batch_index++, merges_since_event,
+                             rec.iteration, elapsed()};
+      merges_since_event = 0;
       for (const auto& fn : batch_observers_) fn(event);
     }
+  };
+
+  // ---- barrier executor (reference) -------------------------------------
+  // One window at a time: execute every pending job with a parallel_for
+  // convoy, then merge in order, generating job k + window right after
+  // iteration k merges. Same operation sequence as the pipelined
+  // executor, so bit-identical results — kept as the differential
+  // reference and as the inline path for jobs == 1 (where a pipeline
+  // cannot overlap anything and thread handoff would be pure overhead).
+  const auto run_barrier = [&] {
+    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs);
+    util::ThreadPool& pool = *pool_;
+    const util::AtomicBitset& covered = merger.lp_covered_shadow();
+
+    std::vector<fuzz::FuzzJob> pending;
+    std::vector<fuzz::FuzzJob> next;
+    pending.reserve(window);
+    next.reserve(window);
+    {
+      const auto g0 = now();
+      fuzz::FuzzJob job;
+      while (pending.size() < window && scheduler.next_job(job)) {
+        pending.push_back(std::move(job));
+      }
+      pipeline_stats_.generate_seconds += secs(now() - g0);
+    }
+
+    std::vector<WorkerResult> results(window);
+    std::vector<std::vector<std::size_t>> groups(jobs);
+    while (!stopped && !pending.empty()) {
+      // Parent-affinity routing: each job is pinned to the worker that
+      // holds (or will build) its corpus parent's checkpoint set, so the
+      // per-worker checkpoint caches see every reuse opportunity. The
+      // assignment depends only on job content — never on timing — so
+      // results stay bit-identical for any worker count.
+      for (auto& group : groups) group.clear();
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        groups[CampaignScheduler::worker_for(pending[i], jobs)].push_back(i);
+      }
+      // Rebalance: a window dominated by one parent (small early corpus,
+      // replay seeds) would otherwise serialize on a single worker. Spill
+      // overflow beyond an even share to the least-loaded groups — worker
+      // results are assignment-independent, so this affects only which
+      // cache sees which job, never the campaign result.
+      if (jobs > 1) {
+        const std::size_t share = (pending.size() + jobs - 1) / jobs;
+        std::vector<std::size_t> overflow;
+        for (auto& group : groups) {
+          while (group.size() > share) {
+            overflow.push_back(group.back());
+            group.pop_back();
+          }
+        }
+        for (const std::size_t task : overflow) {
+          auto* least = &groups.front();
+          for (auto& group : groups) {
+            if (group.size() < least->size()) least = &group;
+          }
+          least->push_back(task);
+        }
+      }
+      pool.parallel_for(jobs, [&](std::size_t worker, std::size_t) {
+        const auto e0 = now();
+        for (const std::size_t task : groups[worker]) {
+          if (test_job_delay_) test_job_delay_(pending[task], worker);
+          workers_[worker]->process(pending[task], &covered, results[task]);
+        }
+        PipelineWorkerStats& ws = pipeline_stats_.workers[worker];
+        ws.execute_seconds += secs(now() - e0);
+        ws.jobs += groups[worker].size();
+      });
+
+      next.clear();
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        {
+          const auto m0 = now();
+          merge_one(results[i], pending[i]);
+          pipeline_stats_.merge_seconds += secs(now() - m0);
+        }
+        if (stopped) break;
+        const auto g0 = now();
+        fuzz::FuzzJob job;
+        if (scheduler.next_job(job)) next.push_back(std::move(job));
+        pipeline_stats_.generate_seconds += secs(now() - g0);
+      }
+      pending.swap(next);
+    }
+  };
+
+  // ---- pipelined sliding-window executor --------------------------------
+  // No barrier anywhere: jobs flow to workers through per-worker SPSC
+  // queues, results flow back through one MPSC ring, and this (caller)
+  // thread merges strictly in iteration order, dispatching job k + window
+  // the moment iteration k merges. Workers never park while in-flight
+  // work exists, and the merge strand overlaps simulation completely.
+  const auto run_window = [&] {
+    // One slot per in-flight iteration: the job rides out to the worker
+    // and the result rides back in the same slot, so the result shells
+    // (windows/lp_hits/coverage buffers) recycle automatically when the
+    // slot is reused by a later iteration. alignas(64): neighbouring
+    // slots are written by different workers concurrently.
+    struct alignas(64) Slot {
+      fuzz::FuzzJob job;
+      WorkerResult result;
+    };
+    std::vector<Slot> slots(window);
+    // In-flight jobs never exceed the window, so capacity window + 1
+    // guarantees push() always succeeds (no producer-side blocking).
+    std::vector<std::unique_ptr<util::SpscRing<std::uint32_t>>> job_queues;
+    job_queues.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      job_queues.push_back(
+          std::make_unique<util::SpscRing<std::uint32_t>>(window + 1));
+    }
+    util::MpscRing<std::uint32_t> completed(window + jobs + 1);
+    constexpr std::uint32_t kErrorSignal = 0xffffffffu;
+    std::mutex error_mu;
+    std::exception_ptr worker_error;
+
+    const util::AtomicBitset& covered = merger.lp_covered_shadow();
+
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      threads.emplace_back([&, w] {
+        PipelineWorkerStats& ws = pipeline_stats_.workers[w];
+        util::SpscRing<std::uint32_t>& queue = *job_queues[w];
+        try {
+          std::uint32_t s = 0;
+          for (;;) {
+            const auto w0 = now();
+            if (!queue.pop_wait(s)) break;  // closed and drained
+            const auto w1 = now();
+            ws.queue_wait_seconds += secs(w1 - w0);
+            Slot& slot = slots[s];
+            if (test_job_delay_) test_job_delay_(slot.job, w);
+            workers_[w]->process(slot.job, &covered, slot.result);
+            ws.execute_seconds += secs(now() - w1);
+            ++ws.jobs;
+            completed.push(s);
+          }
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lk(error_mu);
+            if (!worker_error) worker_error = std::current_exception();
+          }
+          completed.push(kErrorSignal);
+        }
+      });
+    }
+
+    // Dispatch bookkeeping — all merger-thread-private and a pure
+    // function of merged campaign state, so the worker assignment (and
+    // with it the checkpoint-cache population) is deterministic. Spill
+    // beyond an even share mirrors the barrier executor's rebalance:
+    // affinity is a cache hint, never a serialization point.
+    std::vector<std::size_t> slot_worker(window, 0);
+    std::vector<std::size_t> load(jobs, 0);
+    std::vector<bool> ready(window, false);
+    const std::size_t share = (window + jobs - 1) / jobs;
+    std::uint64_t issued = 0;
+    std::uint64_t merged = 0;
+
+    const auto dispatch = [&](fuzz::FuzzJob&& job) {
+      const auto s =
+          static_cast<std::uint32_t>((job.iteration - 1) % window);
+      std::size_t w = CampaignScheduler::worker_for(job, jobs);
+      if (load[w] >= share) {
+        std::size_t least = 0;
+        for (std::size_t i = 1; i < jobs; ++i) {
+          if (load[i] < load[least]) least = i;
+        }
+        w = least;
+      }
+      slot_worker[s] = w;
+      ++load[w];
+      slots[s].job = std::move(job);
+      ++issued;
+      if (!job_queues[w]->push(s)) {
+        throw std::logic_error("pipeline job queue overflow (window bug)");
+      }
+    };
+
+    {
+      const auto g0 = now();
+      fuzz::FuzzJob job;
+      while (issued - merged < window && scheduler.next_job(job)) {
+        dispatch(std::move(job));
+      }
+      pipeline_stats_.generate_seconds += secs(now() - g0);
+    }
+
+    bool failed = false;
+    while (!stopped && !failed && merged < issued) {
+      std::uint32_t s = 0;
+      {
+        const auto r0 = now();
+        if (!completed.pop_wait(s)) break;  // unreachable: never closed
+        pipeline_stats_.result_wait_seconds += secs(now() - r0);
+      }
+      if (s == kErrorSignal) {
+        failed = true;
+        break;
+      }
+      ready[s] = true;
+      // Merge every contiguous ready iteration, refilling the window
+      // after each merge (the freed slot is exactly the one iteration
+      // merged + window maps to).
+      for (;;) {
+        const std::size_t ns = static_cast<std::size_t>(merged % window);
+        if (!ready[ns]) break;
+        ready[ns] = false;
+        Slot& slot = slots[ns];
+        --load[slot_worker[ns]];
+        {
+          const auto m0 = now();
+          merge_one(slot.result, slot.job);
+          pipeline_stats_.merge_seconds += secs(now() - m0);
+        }
+        ++merged;
+        if (stopped) break;
+        const auto g0 = now();
+        fuzz::FuzzJob job;
+        if (scheduler.next_job(job)) dispatch(std::move(job));
+        pipeline_stats_.generate_seconds += secs(now() - g0);
+      }
+    }
+
+    // Shutdown (normal completion, stop condition, or worker failure):
+    // close the queues — workers finish what is already queued (at most
+    // one window across all of them) and exit; leftover completions are
+    // drained and discarded, leaving the merged result exactly at the
+    // stopping iteration.
+    for (auto& queue : job_queues) queue->close();
+    for (auto& t : threads) t.join();
+    std::uint32_t s = 0;
+    while (completed.pop(s)) {
+    }
+    if (worker_error) std::rethrow_exception(worker_error);
+  };
+
+  if (spec_.pipeline == PipelineMode::kBarrier || jobs == 1) {
+    run_barrier();
+  } else {
+    run_window();
+  }
+
+  // Final partial window: merged but never announced (mirrors the old
+  // engine's tail batch event).
+  if (!stopped && merges_since_event > 0 &&
+      !merger.result().history.empty()) {
+    const BatchEvent event{batch_index++, merges_since_event,
+                           merger.result().history.back().iteration,
+                           elapsed()};
+    for (const auto& fn : batch_observers_) fn(event);
+  }
+
+  // Deferred waveform export, off the merge strand. One waveform per
+  // confirmed (post-dedup) finding. The worker's trace is gone by merge
+  // time, so the program is re-simulated once on the session simulator —
+  // same config, same seed-free cold core, hence the identical trace —
+  // and only the vulnerability window is written. Merge order pinned the
+  // pending list, so the file set is deterministic across jobs and
+  // executors. The scenario name prefixes the file so concurrent Sweep
+  // scenarios can share one vcd_out directory without colliding.
+  if (!pending_vcd.empty()) {
+    const auto v0 = now();
+    for (const PendingVcd& pending : pending_vcd) {
+      const sim::RunResult rerun = sim_.run(pending.program);
+      for (std::size_t v = pending.vuln_begin; v < pending.vuln_end; ++v) {
+        const SpecWindow& w = merger.result().vulns[v].window;
+        snapshot::write_vcd_window_file(
+            spec_.vcd_out + "/" + sanitized_scenario_name(spec_.name) +
+                "_vuln_iter" + std::to_string(pending.iteration) + "_" +
+                std::to_string(v) + ".vcd",
+            rerun.trace, w.start_cycle, w.end_cycle);
+      }
+    }
+    pipeline_stats_.vcd_seconds += secs(now() - v0);
   }
 
   CampaignResult result = merger.take_result();

@@ -67,12 +67,35 @@ struct VulnEvent {
   const VulnReport& report;
 };
 
-/// A whole batch finished merging (corpus feedback is now applied).
+/// A whole window of batch_size iterations finished merging (corpus
+/// feedback is now applied). Under the sliding-window executor this is a
+/// cadence marker — every batch_size merges — not a convoy boundary.
 struct BatchEvent {
   std::uint64_t batch_index = 0;        ///< 0-based
-  std::size_t batch_jobs = 0;           ///< jobs simulated in this batch
+  std::size_t batch_jobs = 0;           ///< iterations merged in this window
   std::uint64_t merged_iterations = 0;  ///< campaign total so far
   double seconds = 0;                   ///< elapsed wall-clock
+};
+
+/// Wall-clock telemetry of one simulation worker in the campaign
+/// executor. alignas(64): adjacent workers update their entries
+/// concurrently, so each gets its own cache line.
+struct alignas(64) PipelineWorkerStats {
+  double execute_seconds = 0;     ///< time inside CampaignWorker::process
+  double queue_wait_seconds = 0;  ///< time parked waiting for a job
+  std::uint64_t jobs = 0;         ///< jobs this worker simulated
+};
+
+/// Per-stage timing of the most recent run() — the diagnosis surface for
+/// scaling regressions (`specure run --stats`, bench JSON metrics).
+/// Pure wall-clock telemetry: never part of CampaignResult, never
+/// affects results.
+struct PipelineStats {
+  double generate_seconds = 0;     ///< scheduler/fuzzer job generation
+  double merge_seconds = 0;        ///< in-order merging + observers
+  double result_wait_seconds = 0;  ///< merger parked on the completion ring
+  double vcd_seconds = 0;          ///< deferred waveform drain (vcd_out)
+  std::vector<PipelineWorkerStats> workers;  ///< one entry per worker
 };
 
 class Session {
@@ -122,8 +145,21 @@ class Session {
   }
 
   /// The worker count run() will actually use (resolves jobs == 0 and
-  /// clips to the batch size).
+  /// clips to the batch size — the sliding window keeps at most
+  /// batch_size jobs in flight, so extra workers could never be fed).
   std::size_t resolved_jobs() const;
+
+  /// Per-stage timing of the most recent run() (wall-clock telemetry;
+  /// empty before the first run).
+  const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
+
+  /// Test-only hook: runs on the worker thread before each job is
+  /// processed (pipeline_test injects adversarial per-job delays to
+  /// stress the in-order merge). Must not touch campaign state.
+  void set_test_job_delay(
+      std::function<void(const fuzz::FuzzJob&, std::size_t)> fn) {
+    test_job_delay_ = std::move(fn);
+  }
 
  private:
   CampaignSpec spec_;
@@ -142,6 +178,8 @@ class Session {
       minimized_observers_;
   std::vector<StopCondition> stops_;
   std::unique_ptr<triage::TriageReport> triage_report_;
+  PipelineStats pipeline_stats_;
+  std::function<void(const fuzz::FuzzJob&, std::size_t)> test_job_delay_;
 };
 
 }  // namespace specure::core

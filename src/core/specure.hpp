@@ -17,21 +17,26 @@
 //
 //   CampaignScheduler --> N x CampaignWorker --> ResultMerger
 //
-// The scheduler draws a batch of (iteration, program, derived_rng_seed)
-// jobs from the fuzzer; the jobs are simulated and analyzed concurrently
-// by `jobs` workers, each owning a private sim::Simulator; the merger then
-// applies LP-coverage commits, code-coverage merges, vulnerability
-// deduplication, MST sampling and corpus feedback strictly in iteration
-// order.
+// The scheduler streams (iteration, program, derived_rng_seed) jobs from
+// the fuzzer into a sliding window of at most batch_size in-flight
+// iterations; the jobs are simulated and analyzed concurrently by `jobs`
+// workers, each owning a private sim::Simulator; the merger consumes
+// completions strictly in iteration order, applying LP-coverage commits,
+// code-coverage merges, vulnerability deduplication, MST sampling and
+// corpus feedback — and refills the window after every merge, so no
+// worker ever waits on a batch barrier.
 //
-// Determinism contract (batch-synchronous feedback): every program of
-// batch k is generated from the corpus state after batch k-1 was fully
-// merged, so corpus updates earned in batch k take effect in batch k+1.
-// Consequently a campaign with a fixed rng_seed and batch_size produces a
-// bit-identical CampaignResult regardless of `jobs` — thread count only
-// changes wall-clock time. batch_size == 1 degenerates to the classic
-// serial generate → simulate → feed-back loop and reproduces the
-// pre-pipeline engine's results exactly.
+// Determinism contract (sliding-window feedback): job k is generated
+// from the merged campaign state through iteration k - batch_size (the
+// window width), so corpus updates earned at iteration j take effect at
+// iteration j + batch_size. That generation schedule is a pure function
+// of (rng_seed, batch_size) — independent of `jobs`, of worker timing,
+// and of which executor runs the window (the pipelined default or the
+// `pipeline = barrier` reference) — so a campaign with a fixed rng_seed
+// and batch_size produces a bit-identical CampaignResult regardless of
+// thread count; only wall-clock time changes. batch_size == 1 degenerates
+// to the classic serial generate → simulate → feed-back loop and
+// reproduces the pre-pipeline engine's results exactly.
 #pragma once
 
 #include <cstdint>

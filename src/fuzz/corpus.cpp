@@ -73,22 +73,24 @@ riscv::Program Fuzzer::next() {
   return generate();
 }
 
+FuzzJob Fuzzer::next_job() {
+  FuzzJob job;
+  job.iteration = ++iteration_;
+  job.program = generate();
+  job.rng_seed = util::Rng::derive_seed(job_seed_base_, job.iteration);
+  if (gen_has_parent_) {
+    job.has_parent = true;
+    job.parent = gen_parent_;
+    job.parent_hash = gen_parent_.hash();
+    job.divergence = first_divergence(gen_parent_, job.program);
+  }
+  return job;
+}
+
 std::vector<FuzzJob> Fuzzer::next_batch(std::size_t count) {
   std::vector<FuzzJob> batch;
   batch.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    FuzzJob job;
-    job.iteration = ++iteration_;
-    job.program = generate();
-    job.rng_seed = util::Rng::derive_seed(job_seed_base_, job.iteration);
-    if (gen_has_parent_) {
-      job.has_parent = true;
-      job.parent = gen_parent_;
-      job.parent_hash = gen_parent_.hash();
-      job.divergence = first_divergence(gen_parent_, job.program);
-    }
-    batch.push_back(std::move(job));
-  }
+  for (std::size_t i = 0; i < count; ++i) batch.push_back(next_job());
   return batch;
 }
 

@@ -94,8 +94,13 @@ class Fuzzer {
   /// Produce the next test input (seed replay first, then mutations).
   riscv::Program next();
 
-  /// Produce the next `count` test inputs as campaign jobs. Consumes the
-  /// same RNG stream as `count` calls to next().
+  /// Produce the next test input as a campaign job (the single-job form
+  /// the sliding-window executor draws from). Consumes the same RNG
+  /// stream as one call to next().
+  FuzzJob next_job();
+
+  /// Produce the next `count` test inputs as campaign jobs. Exactly
+  /// `count` next_job() draws — same stream, same jobs.
   std::vector<FuzzJob> next_batch(std::size_t count);
 
   /// Feedback: the input was interesting (new coverage / vulnerability) —

@@ -1,0 +1,237 @@
+// Bounded lock-free rings for the pipelined campaign executor
+// (core/session.cpp): per-worker SPSC job queues (merger -> worker) and
+// one MPSC completion ring (workers -> merger).
+//
+// Both rings are sized for a producer that never outruns the consumer by
+// more than the campaign's sliding window, so push() never blocks — it
+// returns false only on a capacity bug, which callers treat as fatal.
+// pop() is non-blocking; pop_wait() parks the consumer when the ring is
+// empty. Parking uses a mutex + condition variable with a seq_cst
+// "consumer is parked" flag (no standalone fences — they are both easy
+// to get wrong and poorly modelled by TSan) plus a short timed-wait
+// backstop, so a lost wakeup can cost microseconds, never a hang.
+//
+// Head and tail live on their own cache lines (alignas of two mutating
+// counters on one line would make every push invalidate the consumer's
+// cursor and vice versa — exactly the false sharing this layer exists to
+// remove).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace specure::util {
+
+/// Smallest power of two >= n (and >= 2), so ring indices can wrap with a
+/// mask instead of a modulo.
+inline std::size_t ring_capacity_for(std::size_t n) {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+/// Single-producer single-consumer bounded ring. The producer owns
+/// tail_, the consumer owns head_; each reads the other's cursor with
+/// acquire and publishes its own with release, so the element written
+/// before a push is visible to the pop that observes the new tail.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity)
+      : mask_(ring_capacity_for(min_capacity) - 1),
+        buffer_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. False when full (a sizing bug for our callers).
+  bool push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    buffer_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    wake_consumer();
+    return true;
+  }
+
+  /// Consumer side, non-blocking.
+  bool pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(buffer_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: block until an element arrives or the ring is closed
+  /// and drained. False means closed-and-empty (shutdown).
+  bool pop_wait(T& out) {
+    for (;;) {
+      if (pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Every push happens-before close(), so after observing closed a
+        // failed pop means the ring is truly drained.
+        return pop(out);
+      }
+      std::unique_lock<std::mutex> lk(park_mu_);
+      parked_.store(true, std::memory_order_seq_cst);
+      if (!empty() || closed_.load(std::memory_order_seq_cst)) {
+        parked_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      // Timed backstop: even a (theoretical) lost wakeup only costs us
+      // half a millisecond, not a hang.
+      park_cv_.wait_for(lk, std::chrono::microseconds(500));
+      parked_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  /// Producer side: no more pushes will follow. Parked consumers drain
+  /// the remaining elements, then pop_wait returns false.
+  void close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lk(park_mu_);
+    park_cv_.notify_all();
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void wake_consumer() {
+    if (parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lk(park_mu_);
+      park_cv_.notify_all();
+    }
+  }
+
+  const std::size_t mask_;
+  std::vector<T> buffer_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<bool> parked_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+};
+
+/// Multi-producer single-consumer bounded ring (Vyukov-style: every cell
+/// carries a sequence number, so producers claim cells with one
+/// fetch_add and publish independently — no producer-side lock, no ABA).
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t min_capacity)
+      : mask_(ring_capacity_for(min_capacity) - 1),
+        cells_(mask_ + 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Any producer thread. False when full (a sizing bug for our callers).
+  bool push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          wake_consumer();
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// The single consumer thread, non-blocking.
+  bool pop(T& out) {
+    const std::size_t pos = head_;
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(pos + 1) < 0) {
+      return false;  // cell not yet published
+    }
+    out = std::move(cell.value);
+    cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+    head_ = pos + 1;
+    return true;
+  }
+
+  /// The single consumer thread: park until an element arrives or the
+  /// ring is closed and drained.
+  bool pop_wait(T& out) {
+    for (;;) {
+      if (pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        if (pop(out)) return true;
+        return false;
+      }
+      std::unique_lock<std::mutex> lk(park_mu_);
+      parked_.store(true, std::memory_order_seq_cst);
+      if (pop(out)) {
+        parked_.store(false, std::memory_order_relaxed);
+        return true;
+      }
+      if (closed_.load(std::memory_order_seq_cst)) {
+        parked_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      park_cv_.wait_for(lk, std::chrono::microseconds(500));
+      parked_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  void close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lk(park_mu_);
+    park_cv_.notify_all();
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  void wake_consumer() {
+    if (parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lk(park_mu_);
+      park_cv_.notify_all();
+    }
+  }
+
+  const std::size_t mask_;
+  std::vector<Cell> cells_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producers claim here
+  alignas(64) std::size_t head_ = 0;              ///< consumer-private
+  alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<bool> parked_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+};
+
+}  // namespace specure::util

@@ -5,17 +5,23 @@ namespace specure::util {
 ThreadPool::ThreadPool(std::size_t contexts)
     : contexts_(contexts == 0 ? 1 : contexts) {
   threads_.reserve(contexts_ - 1);
+  slots_.reserve(contexts_ - 1);
+  for (std::size_t c = 1; c < contexts_; ++c) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
   for (std::size_t c = 1; c < contexts_; ++c) {
     threads_.emplace_back([this, c] { worker_main(c); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    shutdown_ = true;
+  for (auto& slot : slots_) {
+    {
+      std::lock_guard<std::mutex> lk(slot->mu);
+      slot->shutdown = true;
+    }
+    slot->cv.notify_one();
   }
-  start_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
@@ -23,39 +29,47 @@ void ThreadPool::run_tasks(
     const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t context) {
   for (;;) {
-    const std::size_t task = next_task_.fetch_add(1);
+    // Claiming needs only the RMW's atomicity; the acquire fence orders
+    // the claim before the task body touches shared task data.
+    const std::size_t task = next_task_.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
     if (task >= task_count_) return;
     try {
       fn(task, context);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!error_) error_ = std::current_exception();
+      {
+        std::lock_guard<std::mutex> lk(done_mu_);
+        if (!error_) error_ = std::current_exception();
+      }
       // Abandon unclaimed tasks: park the cursor past the end.
-      next_task_.store(task_count_);
+      next_task_.store(task_count_, std::memory_order_relaxed);
       return;
     }
   }
 }
 
 void ThreadPool::worker_main(std::size_t context) {
+  WorkerSlot& slot = *slots_[context - 1];
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      start_cv_.wait(lk, [&] {
-        return shutdown_ || generation_ != seen_generation;
+      std::unique_lock<std::mutex> lk(slot.mu);
+      slot.cv.wait(lk, [&] {
+        return slot.shutdown || slot.generation != seen_generation;
       });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      fn = fn_;
+      if (slot.shutdown) return;
+      seen_generation = slot.generation;
     }
-    run_tasks(*fn, context);
+    // fn_/task_count_ were written before the generation bump and are
+    // published to this worker by slot.mu.
+    run_tasks(*fn_, context);
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++idle_workers_;
+      std::lock_guard<std::mutex> lk(done_mu_);
+      if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        done_cv_.notify_one();
+      }
     }
-    done_cv_.notify_one();
   }
 }
 
@@ -67,21 +81,31 @@ void ThreadPool::parallel_for(
     for (std::size_t t = 0; t < tasks; ++t) fn(t, 0);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    fn_ = &fn;
-    task_count_ = tasks;
-    next_task_.store(0);
-    idle_workers_ = 0;
-    error_ = nullptr;
-    ++generation_;
+  fn_ = &fn;
+  task_count_ = tasks;
+  next_task_.store(0, std::memory_order_relaxed);
+  error_ = nullptr;
+  active_workers_.store(threads_.size(), std::memory_order_relaxed);
+  // Per-worker wakeup: each slot's mutex publishes the batch descriptor
+  // to its worker; no shared lock, no broadcast stampede.
+  for (auto& slot : slots_) {
+    {
+      std::lock_guard<std::mutex> lk(slot->mu);
+      ++slot->generation;
+    }
+    slot->cv.notify_one();
   }
-  start_cv_.notify_all();
   run_tasks(fn, 0);  // the caller is context 0
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return idle_workers_ == threads_.size(); });
+  std::unique_lock<std::mutex> lk(done_mu_);
+  done_cv_.wait(lk, [&] {
+    return active_workers_.load(std::memory_order_acquire) == 0;
+  });
   fn_ = nullptr;
-  if (error_) std::rethrow_exception(error_);
+  if (error_) {
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace specure::util

@@ -215,6 +215,20 @@ int report_and_exit_code(const core::CampaignResult& result,
   core::write_text_report(std::cout, result, &spec);
   std::printf("\n(jobs: %zu, batch size: %zu)\n", session.resolved_jobs(),
               spec.batch_size);
+  if (args.has("--stats")) {
+    const core::PipelineStats& stats = session.pipeline_stats();
+    std::printf("\nPipeline stages (wall-clock)\n");
+    std::printf("  merger: generate %.3fs  merge %.3fs  result-wait %.3fs"
+                "  vcd %.3fs\n",
+                stats.generate_seconds, stats.merge_seconds,
+                stats.result_wait_seconds, stats.vcd_seconds);
+    for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+      const core::PipelineWorkerStats& ws = stats.workers[w];
+      std::printf("  worker %zu: %llu jobs  execute %.3fs  queue-wait %.3fs\n",
+                  w, static_cast<unsigned long long>(ws.jobs),
+                  ws.execute_seconds, ws.queue_wait_seconds);
+    }
+  }
   if (const triage::TriageReport* triaged = session.triage_report()) {
     std::printf("\nTriage (%zu findings, %zu probes, %.3fs)\n",
                 triaged->findings.size(), triaged->probes_total,
@@ -248,6 +262,7 @@ const std::vector<FlagDef> kRunFlags = {
      "write a VCD waveform per confirmed vulnerability window into DIR"},
     {"--dry-run", false, "print the resolved spec and exit"},
     {"--quiet", false, "suppress the progress/finding feed"},
+    {"--stats", false, "print per-stage pipeline timing after the campaign"},
 };
 
 /// A --vcd-out directory must exist (or be creatable) and be writable
@@ -512,6 +527,7 @@ const std::vector<FlagDef> kFuzzFlags = {
     {"--json", true, "write the JSON report to FILE"},
     {"--no-special-seeds", false, "disable the §3.2 transient-window seeds"},
     {"--quiet", false, "suppress the progress feed"},
+    {"--stats", false, "print per-stage pipeline timing after the campaign"},
 };
 
 int cmd_fuzz(const Args& args) {
