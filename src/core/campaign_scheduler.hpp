@@ -46,7 +46,18 @@ class CampaignScheduler {
                                 std::size_t workers);
 
   std::uint64_t issued() const { return issued_; }
+  /// True once the campaign's iteration budget is fully issued.
+  bool exhausted() const { return issued_ >= total_iterations_; }
   const fuzz::Fuzzer& fuzzer() const { return fuzzer_; }
+
+  /// Campaign checkpoint/restore: the fuzzer state is the whole
+  /// deterministic scheduler state (issued_ mirrors the fuzzer's
+  /// iteration cursor).
+  fuzz::FuzzerState save_state() const { return fuzzer_.save_state(); }
+  void restore(const fuzz::FuzzerState& state) {
+    fuzzer_.restore_state(state);
+    issued_ = state.iteration;
+  }
 
  private:
   fuzz::Fuzzer fuzzer_;

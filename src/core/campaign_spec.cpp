@@ -234,6 +234,16 @@ const std::vector<KeyDef>& key_table() {
       KeyDef{"triage_out", "campaign", true,
              [](const CampaignSpec& s) { return s.triage_out; },
              [](CampaignSpec& s, const std::string& v) { s.triage_out = v; }},
+      KeyDef{"state_out", "campaign", true,
+             [](const CampaignSpec& s) { return s.state_out; },
+             [](CampaignSpec& s, const std::string& v) { s.state_out = v; }},
+      KeyDef{"state_interval", "campaign", false,
+             [](const CampaignSpec& s) {
+               return render_double(s.state_interval);
+             },
+             [](CampaignSpec& s, const std::string& v) {
+               s.state_interval = parse_double("state_interval", v);
+             }},
       // -- offline ---------------------------------------------------------
       SPEC_BOOL("pdlc_reverse", "offline", pdlc.reverse),
       SPEC_BOOL("pdlc_register_sources_only", "offline",
@@ -581,6 +591,10 @@ void CampaignSpec::validate() const {
   }
   if (triage == TriageMode::kFull && triage_out.empty()) {
     bad("triage_out must name a directory when triage = full");
+  }
+  if (state_interval > 0 && state_out.empty()) {
+    bad("state_interval needs state_out — a cadence without a state file "
+        "path writes nothing");
   }
   if (checkpoint && checkpoint_cache_mb == 0) {
     bad("checkpoint_cache_mb must be >= 1 when checkpoint is on (use "

@@ -137,6 +137,18 @@ struct CampaignSpec {
   TriageMode triage = TriageMode::kOff;
   /// Directory that receives the repro bundles when triage = full.
   std::string triage_out = "specure-triage";
+  /// When non-empty: path of the durable campaign state file (the resume
+  /// frontier, serve/campaign_state format). Written atomically from the
+  /// merge strand at `state_interval` cadence and always when the
+  /// campaign ends or pauses, so a killed campaign resumes bit-identical
+  /// via `specure run --resume FILE`. Empty = off. Wall-clock-only: never
+  /// affects the CampaignResult.
+  std::string state_out;
+  /// Minimum seconds between cadence state writes (state_out). 0 writes
+  /// only the final/pause state. Non-deterministic cadence by nature —
+  /// but every written state resumes to the same result, so the interval
+  /// is wall-clock-only.
+  double state_interval = 0;
   CampaignBudget budget;
 
   // ---- named scenario presets -------------------------------------------

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "core/mst.hpp"
@@ -62,6 +63,18 @@ class LpCoverageMap {
 
   std::size_t covered() const { return covered_count_; }
   const std::vector<bool>& covered_mask() const { return covered_; }
+
+  /// Overwrite the covered set from a previously saved covered_mask()
+  /// (campaign state restore). The mask must come from the same channel
+  /// universe — i.e. a map built from the same offline result and policy.
+  void restore_covered(const std::vector<bool>& mask) {
+    if (mask.size() != covered_.size()) {
+      throw std::logic_error("LP coverage restore: channel count mismatch");
+    }
+    covered_ = mask;
+    covered_count_ = 0;
+    for (const bool c : covered_) covered_count_ += c;
+  }
   std::size_t total() const { return covered_.size(); }
   bool is_covered(std::size_t channel) const { return covered_[channel]; }
 

@@ -21,6 +21,18 @@ ResultMerger::ResultMerger(const OfflineResult& offline,
   result_.pdlc_total = offline.pdlc.size();
 }
 
+void ResultMerger::restore(const CampaignResult& result,
+                           const std::vector<bool>& lp_mask,
+                           const std::vector<std::string>& coverage_points,
+                           std::uint64_t toggle_bits) {
+  result_ = result;
+  lp_.restore_covered(lp_mask);
+  for (std::size_t c = 0; c < lp_mask.size(); ++c) {
+    if (lp_mask[c]) covered_shadow_.set(c);
+  }
+  code_cov_.restore(coverage_points, toggle_bits);
+}
+
 bool ResultMerger::merge(WorkerResult& result) {
   result_.total_windows += result.windows.size();
   for (const auto& w : result.windows) {

@@ -96,6 +96,18 @@ class ResultMerger {
     return covered_shadow_;
   }
 
+  /// The merged code-coverage accumulator (for campaign state capture).
+  const sim::CoverageRecorder& code_coverage() const { return code_cov_; }
+
+  /// Restore the merger to a previously captured campaign frontier:
+  /// the accumulated result, the LP covered mask (covered_mask() at
+  /// capture time, republished to the atomic shadow) and the merged
+  /// code-coverage point set. The next merge() continues exactly where
+  /// the captured campaign left off.
+  void restore(const CampaignResult& result, const std::vector<bool>& lp_mask,
+               const std::vector<std::string>& coverage_points,
+               std::uint64_t toggle_bits);
+
   /// Move the finished result out; the merger is spent afterwards.
   CampaignResult take_result() { return std::move(result_); }
 

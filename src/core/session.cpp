@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <stdexcept>
 #include <thread>
 
@@ -68,9 +69,21 @@ Session& Session::on_finding_minimized(
   return *this;
 }
 
+Session& Session::on_frontier(
+    std::function<void(const CampaignFrontier&)> sink,
+    double min_interval_seconds) {
+  frontier_sinks_.emplace_back(std::move(sink), min_interval_seconds);
+  return *this;
+}
+
 Session& Session::add_stop(StopCondition fn) {
   stops_.push_back(std::move(fn));
   return *this;
+}
+
+void Session::resume_from(CampaignFrontier frontier) {
+  resume_ = std::make_unique<CampaignFrontier>(std::move(frontier));
+  paused_ = false;
 }
 
 Session::StopCondition Session::stop_after_iterations(std::uint64_t n) {
@@ -107,30 +120,50 @@ std::size_t Session::resolved_jobs() const {
 }
 
 CampaignResult Session::run() {
+  // Resuming a completed frontier: the campaign already ended (budget or
+  // stop condition) — re-running would re-evaluate stops one iteration
+  // too late and diverge, so hand back the stored result instead.
+  if (resume_ && resume_->completed) {
+    CampaignResult done = std::move(resume_->result);
+    resume_.reset();
+    paused_ = false;
+    return done;
+  }
+
   if (!spec_.vcd_out.empty()) ensure_dir_writable(spec_.vcd_out, "vcd_out");
   if (spec_.triage == TriageMode::kFull) {
     ensure_dir_writable(spec_.triage_out, "triage_out");
   }
+  if (!spec_.state_out.empty()) {
+    // The state file's parent directory must exist and be writable
+    // before the campaign starts — a failing cadence write mid-campaign
+    // would silently lose the resume story.
+    const std::size_t slash = spec_.state_out.find_last_of('/');
+    ensure_dir_writable(
+        slash == std::string::npos ? "." : spec_.state_out.substr(0, slash),
+        "state_out");
+  }
   const auto t0 = std::chrono::steady_clock::now();
-  const auto elapsed = [&t0] {
+  // Wall-clock within this run() segment; elapsed() adds the time the
+  // campaign accumulated before a pause, so max_seconds budgets and
+  // report timings span resumes.
+  const auto raw_elapsed = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
         .count();
   };
+  const auto elapsed = [&] { return prior_seconds_ + raw_elapsed(); };
   const std::size_t jobs = resolved_jobs();
   const std::size_t window = spec_.batch_size == 0 ? 1 : spec_.batch_size;
   const CampaignBudget& budget = spec_.budget;
 
-  CampaignScheduler scheduler(spec_.fuzzer, spec_.rng_seed,
-                              budget.iterations);
-  ResultMerger merger(offline_, sim_.signal_db(), spec_.feedback,
-                      spec_.lp_policy, spec_.mst_sample_rows);
-
   // One simulator per worker, built on the first run() and reused across
   // campaigns; unique_ptr keeps the simulators (and the internal
   // references the LP prober and detector hold into them) at stable
-  // addresses.
-  if (workers_.empty()) {
+  // addresses. Grown, never shrunk: a later run() may resolve more jobs
+  // (the serve daemon rescales a tenant's share as campaigns come and
+  // go), and worker caches are wall-clock-only state either way.
+  if (workers_.size() < jobs) {
     WorkerCheckpointOptions checkpoint;
     // The dense reference recorder has no resume prefix; fall back to
     // all-cold rather than rejecting the (debug-only) combination.
@@ -141,7 +174,7 @@ CampaignResult Session::run() {
         std::max<std::size_t>((spec_.checkpoint_cache_mb << 20) / jobs,
                               std::size_t{1} << 20);
     workers_.reserve(jobs);
-    for (std::size_t w = 0; w < jobs; ++w) {
+    for (std::size_t w = workers_.size(); w < jobs; ++w) {
       workers_.push_back(std::make_unique<CampaignWorker>(
           spec_.core, offline_, spec_.lp_policy, spec_.detector,
           checkpoint));
@@ -166,20 +199,63 @@ CampaignResult Session::run() {
   std::uint64_t batch_index = 0;
   std::size_t merges_since_event = 0;
   bool stopped = false;
+  bool paused = false;
 
   // Deferred waveform export: confirmed findings are recorded here at
   // merge time and re-simulated after the campaign loop (the merge strand
   // is the scaling bottleneck; a re-simulation per finding on it was the
   // single largest serial term). Merge order pins the file set.
-  struct PendingVcd {
-    riscv::Program program;
-    std::uint64_t iteration = 0;
-    std::size_t vuln_begin = 0;
-    std::size_t vuln_end = 0;
+  std::vector<PendingWaveform> pending_vcd;
+
+  // ---- durable-state bookkeeping (resume frontier) -----------------------
+  // `inflight` mirrors, on the merge strand, the jobs issued but not yet
+  // merged (never more than one window): every job enters through
+  // draw_job and leaves in merge_one, so at any merge boundary the deque
+  // is exactly the frontier's in_flight list. `replay` holds a resumed
+  // frontier's in-flight jobs; draw_job serves them before asking the
+  // scheduler, which re-dispatches the interrupted window verbatim (the
+  // jobs cannot be regenerated — drawing them mutated corpus energy).
+  std::deque<fuzz::FuzzJob> inflight;
+  std::deque<fuzz::FuzzJob> replay;
+  std::uint64_t merged_total = 0;
+
+  CampaignScheduler scheduler(spec_.fuzzer, spec_.rng_seed,
+                              budget.iterations);
+  ResultMerger merger(offline_, sim_.signal_db(), spec_.feedback,
+                      spec_.lp_policy, spec_.mst_sample_rows);
+
+  if (resume_) {
+    const CampaignFrontier& f = *resume_;
+    scheduler.restore(f.fuzzer);
+    merger.restore(f.result, f.lp_covered, f.coverage_points, f.toggle_bits);
+    replay.assign(f.in_flight.begin(), f.in_flight.end());
+    merged_total = f.merged;
+    last_gain_iteration = f.last_gain_iteration;
+    last_progress = f.last_progress;
+    batch_index = f.batch_index;
+    merges_since_event = static_cast<std::size_t>(f.merges_since_event);
+    pending_vcd.assign(f.pending_vcd.begin(), f.pending_vcd.end());
+    prior_seconds_ = f.prior_seconds;
+    resume_.reset();
+  } else {
+    prior_seconds_ = 0;
+  }
+  paused_ = false;
+
+  const auto draw_job = [&](fuzz::FuzzJob& out) {
+    if (!replay.empty()) {
+      out = std::move(replay.front());
+      replay.pop_front();
+    } else if (!scheduler.next_job(out)) {
+      return false;
+    }
+    inflight.push_back(out);
+    return true;
   };
-  std::vector<PendingVcd> pending_vcd;
 
   const auto merge_one = [&](WorkerResult& result, const fuzz::FuzzJob& job) {
+    inflight.pop_front();  // `job` is always the oldest in-flight iteration
+    ++merged_total;
     const CampaignResult& live = merger.result();
     const std::size_t prev_lp =
         live.history.empty() ? 0 : live.history.back().covered_pdlc;
@@ -253,6 +329,59 @@ CampaignResult Session::run() {
     }
   };
 
+  // ---- frontier capture + pause hook -------------------------------------
+  // Both executors call post_merge() after every merge_one + window
+  // refill — the only points where the frontier invariant holds (jobs
+  // issued through merged + |inflight|, feedback applied through merged).
+  const auto capture_frontier = [&](bool completed) {
+    CampaignFrontier f;
+    f.merged = merged_total;
+    f.completed = completed;
+    f.fuzzer = scheduler.save_state();
+    f.in_flight.assign(inflight.begin(), inflight.end());
+    f.result = merger.result();
+    f.result.seconds = elapsed();
+    f.lp_covered = merger.lp_covered_mask();
+    const auto& points = merger.code_coverage().points();
+    f.coverage_points.assign(points.begin(), points.end());
+    std::sort(f.coverage_points.begin(), f.coverage_points.end());
+    f.toggle_bits = merger.code_coverage().toggle_bits();
+    f.last_gain_iteration = last_gain_iteration;
+    f.last_progress = last_progress;
+    f.batch_index = batch_index;
+    f.merges_since_event = merges_since_event;
+    f.pending_vcd = pending_vcd;
+    f.prior_seconds = f.result.seconds;
+    return f;
+  };
+
+  // Per-sink cadence clock (run wall-clock of the last fire), so two
+  // sinks with different intervals throttle independently.
+  std::vector<double> sink_last_fire(frontier_sinks_.size(), 0);
+  const auto post_merge = [&]() -> bool {  // true = pause at this boundary
+    if (!frontier_sinks_.empty()) {
+      const double t = raw_elapsed();
+      bool any_due = false;
+      for (std::size_t i = 0; i < frontier_sinks_.size(); ++i) {
+        if (t - sink_last_fire[i] >= frontier_sinks_[i].second) {
+          any_due = true;
+        }
+      }
+      if (any_due) {
+        const CampaignFrontier f = capture_frontier(false);
+        for (std::size_t i = 0; i < frontier_sinks_.size(); ++i) {
+          if (t - sink_last_fire[i] >= frontier_sinks_[i].second) {
+            sink_last_fire[i] = t;
+            frontier_sinks_[i].first(f);
+          }
+        }
+      }
+    }
+    if (pause_requested_.load(std::memory_order_relaxed)) return true;
+    const std::uint64_t at = pause_at_.load(std::memory_order_relaxed);
+    return at != 0 && merged_total >= at;
+  };
+
   // ---- barrier executor (reference) -------------------------------------
   // One window at a time: execute every pending job with a parallel_for
   // convoy, then merge in order, generating job k + window right after
@@ -261,7 +390,9 @@ CampaignResult Session::run() {
   // reference and as the inline path for jobs == 1 (where a pipeline
   // cannot overlap anything and thread handoff would be pure overhead).
   const auto run_barrier = [&] {
-    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs);
+    if (!pool_ || pool_->contexts() < jobs) {
+      pool_ = std::make_unique<util::ThreadPool>(jobs);
+    }
     util::ThreadPool& pool = *pool_;
     const util::AtomicBitset& covered = merger.lp_covered_shadow();
 
@@ -272,7 +403,7 @@ CampaignResult Session::run() {
     {
       const auto g0 = now();
       fuzz::FuzzJob job;
-      while (pending.size() < window && scheduler.next_job(job)) {
+      while (pending.size() < window && draw_job(job)) {
         pending.push_back(std::move(job));
       }
       pipeline_stats_.generate_seconds += secs(now() - g0);
@@ -280,7 +411,7 @@ CampaignResult Session::run() {
 
     std::vector<WorkerResult> results(window);
     std::vector<std::vector<std::size_t>> groups(jobs);
-    while (!stopped && !pending.empty()) {
+    while (!stopped && !paused && !pending.empty()) {
       // Parent-affinity routing: each job is pinned to the worker that
       // holds (or will build) its corpus parent's checkpoint set, so the
       // per-worker checkpoint caches see every reuse opportunity. The
@@ -333,8 +464,15 @@ CampaignResult Session::run() {
         if (stopped) break;
         const auto g0 = now();
         fuzz::FuzzJob job;
-        if (scheduler.next_job(job)) next.push_back(std::move(job));
+        if (draw_job(job)) next.push_back(std::move(job));
         pipeline_stats_.generate_seconds += secs(now() - g0);
+        // Pause boundary: the frontier invariant holds right here (merge
+        // + refill done). The rest of this window stays un-merged — its
+        // jobs are in `inflight`, so the frontier re-executes them.
+        if (post_merge()) {
+          paused = true;
+          break;
+        }
       }
       pending.swap(next);
     }
@@ -411,8 +549,11 @@ CampaignResult Session::run() {
     std::vector<std::size_t> load(jobs, 0);
     std::vector<bool> ready(window, false);
     const std::size_t share = (window + jobs - 1) / jobs;
-    std::uint64_t issued = 0;
-    std::uint64_t merged = 0;
+    // Absolute campaign counters (resume continues mid-stream; slot
+    // indices are functions of absolute iteration numbers, so the slot
+    // mapping is identical to the uninterrupted run's).
+    std::uint64_t issued = merged_total;
+    std::uint64_t merged = merged_total;
 
     const auto dispatch = [&](fuzz::FuzzJob&& job) {
       const auto s =
@@ -437,14 +578,14 @@ CampaignResult Session::run() {
     {
       const auto g0 = now();
       fuzz::FuzzJob job;
-      while (issued - merged < window && scheduler.next_job(job)) {
+      while (issued - merged < window && draw_job(job)) {
         dispatch(std::move(job));
       }
       pipeline_stats_.generate_seconds += secs(now() - g0);
     }
 
     bool failed = false;
-    while (!stopped && !failed && merged < issued) {
+    while (!stopped && !paused && !failed && merged < issued) {
       std::uint32_t s = 0;
       {
         const auto r0 = now();
@@ -474,8 +615,12 @@ CampaignResult Session::run() {
         if (stopped) break;
         const auto g0 = now();
         fuzz::FuzzJob job;
-        if (scheduler.next_job(job)) dispatch(std::move(job));
+        if (draw_job(job)) dispatch(std::move(job));
         pipeline_stats_.generate_seconds += secs(now() - g0);
+        if (post_merge()) {
+          paused = true;
+          break;
+        }
       }
     }
 
@@ -498,6 +643,30 @@ CampaignResult Session::run() {
     run_window();
   }
 
+  pause_requested_.store(false, std::memory_order_relaxed);
+  pause_at_.store(0, std::memory_order_relaxed);
+
+  // A pause that landed exactly on the campaign's last merge is a
+  // completion: nothing is in flight and the budget is fully issued.
+  if (paused && inflight.empty() && scheduler.exhausted()) paused = false;
+
+  if (paused) {
+    // Paused mid-campaign: capture the frontier, hand it to every sink
+    // (the durable-state write), stash it so the next run() continues,
+    // and return the partial result. The deferred waveform drain and
+    // triage wait for the completing segment — pending_vcd rides in the
+    // frontier — so the eventual file set and triage report are exactly
+    // the uninterrupted run's.
+    CampaignFrontier frontier = capture_frontier(false);
+    for (auto& [sink, interval] : frontier_sinks_) sink(frontier);
+    CampaignResult result = merger.take_result();
+    result.seconds = elapsed();
+    resume_ = std::make_unique<CampaignFrontier>(std::move(frontier));
+    paused_ = true;
+    triage_report_.reset();
+    return result;
+  }
+
   // Final partial window: merged but never announced (mirrors the old
   // engine's tail batch event).
   if (!stopped && merges_since_event > 0 &&
@@ -506,6 +675,15 @@ CampaignResult Session::run() {
                            merger.result().history.back().iteration,
                            elapsed()};
     for (const auto& fn : batch_observers_) fn(event);
+  }
+
+  // The completed frontier still goes to every sink: a durable state
+  // file whose `completed` flag is set is how a restarted daemon (or a
+  // --resume of a finished campaign) knows to report the stored result
+  // instead of re-running.
+  if (!frontier_sinks_.empty()) {
+    const CampaignFrontier frontier = capture_frontier(true);
+    for (auto& [sink, interval] : frontier_sinks_) sink(frontier);
   }
 
   // Deferred waveform export, off the merge strand. One waveform per
@@ -518,7 +696,7 @@ CampaignResult Session::run() {
   // scenarios can share one vcd_out directory without colliding.
   if (!pending_vcd.empty()) {
     const auto v0 = now();
-    for (const PendingVcd& pending : pending_vcd) {
+    for (const PendingWaveform& pending : pending_vcd) {
       const sim::RunResult rerun = sim_.run(pending.program);
       for (std::size_t v = pending.vuln_begin; v < pending.vuln_end; ++v) {
         const SpecWindow& w = merger.result().vulns[v].window;
@@ -561,6 +739,48 @@ CampaignResult Session::run() {
         }));
   }
   return result;
+}
+
+void Session::finalize_interrupted() {
+  if (!paused_ || !resume_) return;
+  const CampaignFrontier& f = *resume_;
+
+  // Drain the frontier's deferred waveforms (same re-simulation scheme as
+  // the completed path; the frontier pinned the pending list at the merge
+  // boundary, so the file set matches what the resumed campaign will
+  // eventually write for these findings).
+  if (!spec_.vcd_out.empty()) {
+    for (const PendingWaveform& pending : f.pending_vcd) {
+      const sim::RunResult rerun = sim_.run(pending.program);
+      for (std::size_t v = pending.vuln_begin; v < pending.vuln_end; ++v) {
+        const SpecWindow& w = f.result.vulns[v].window;
+        snapshot::write_vcd_window_file(
+            spec_.vcd_out + "/" + sanitized_scenario_name(spec_.name) +
+                "_vuln_iter" + std::to_string(pending.iteration) + "_" +
+                std::to_string(v) + ".vcd",
+            rerun.trace, w.start_cycle, w.end_cycle);
+      }
+    }
+  }
+
+  // Triage the findings confirmed so far.
+  triage_report_.reset();
+  if (spec_.triage != TriageMode::kOff && !f.result.vulns.empty()) {
+    std::vector<triage::TriageInput> inputs;
+    inputs.reserve(f.result.vulns.size());
+    for (const VulnReport& v : f.result.vulns) {
+      inputs.push_back({dedup_key(v), v.program});
+    }
+    triage::TriageOptions options;
+    options.mode = spec_.triage;
+    options.out_dir = spec_.triage_out;
+    options.jobs = spec_.jobs;
+    triage_report_ = std::make_unique<triage::TriageReport>(triage::run_triage(
+        spec_, offline_, inputs, options,
+        [this](const triage::MinimizedEvent& event) {
+          for (const auto& fn : minimized_observers_) fn(event);
+        }));
+  }
 }
 
 }  // namespace specure::core

@@ -26,10 +26,12 @@
 // same spec (simulators and the thread pool are built once and reused).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/campaign_spec.hpp"
@@ -77,6 +79,49 @@ struct BatchEvent {
   double seconds = 0;                   ///< elapsed wall-clock
 };
 
+/// One confirmed finding awaiting its deferred waveform export (vcd_out):
+/// recorded at merge time, re-simulated and written after the campaign
+/// loop. Part of the resume frontier so a paused campaign still writes
+/// the complete deterministic waveform set when it eventually finishes.
+struct PendingWaveform {
+  riscv::Program program;
+  std::uint64_t iteration = 0;
+  std::size_t vuln_begin = 0;  ///< index range into CampaignResult::vulns
+  std::size_t vuln_end = 0;
+};
+
+/// The resume frontier: everything the campaign pipeline needs to
+/// continue from a merge boundary as if it had never stopped. Captured on
+/// the merge strand after iteration `merged` merged and the window was
+/// refilled, so the invariant holds: the fuzzer has issued every job
+/// through `merged + in_flight.size()`, corpus feedback is applied
+/// through `merged`, and the not-yet-merged jobs ride along verbatim
+/// (they cannot be regenerated — drawing them mutated corpus energy).
+/// Resuming re-dispatches in_flight and then draws the next job from the
+/// restored fuzzer, which by the sliding-window generation contract is
+/// exactly the job the uninterrupted campaign would have drawn — so the
+/// final CampaignResult is bit-identical at a fixed seed for any --jobs.
+/// Serialized by serve/campaign_state into the durable state file.
+struct CampaignFrontier {
+  std::uint64_t merged = 0;  ///< iterations merged (== result.history.size())
+  /// True when the campaign actually finished (budget, stop condition):
+  /// resuming a completed frontier returns the stored result instead of
+  /// running — stop conditions already fired and must not re-evaluate.
+  bool completed = false;
+  fuzz::FuzzerState fuzzer;
+  std::vector<fuzz::FuzzJob> in_flight;  ///< iterations merged+1..issued
+  CampaignResult result;
+  std::vector<bool> lp_covered;
+  std::vector<std::string> coverage_points;  ///< sorted (stable on disk)
+  std::uint64_t toggle_bits = 0;
+  std::uint64_t last_gain_iteration = 0;
+  std::uint64_t last_progress = 0;
+  std::uint64_t batch_index = 0;
+  std::uint64_t merges_since_event = 0;
+  std::vector<PendingWaveform> pending_vcd;
+  double prior_seconds = 0;  ///< wall-clock accumulated across segments
+};
+
 /// Wall-clock telemetry of one simulation worker in the campaign
 /// executor. alignas(64): adjacent workers update their entries
 /// concurrently, so each gets its own cache line.
@@ -117,6 +162,15 @@ class Session {
   /// minimized it (spec.triage = on | full), in finding order.
   Session& on_finding_minimized(
       std::function<void(const triage::MinimizedEvent&)> fn);
+  /// Durable-state sink: fires on the merge strand with the current
+  /// resume frontier. Cadence captures fire when at least
+  /// `min_interval_seconds` of run wall-clock passed since this sink last
+  /// fired (0 = every merge boundary); the final frontier — completed or
+  /// paused — always fires every sink (and may repeat the last cadence
+  /// boundary; state writers are idempotent by construction). Like every
+  /// observer, sinks never perturb the campaign result.
+  Session& on_frontier(std::function<void(const CampaignFrontier&)> sink,
+                       double min_interval_seconds = 0);
   Session& add_stop(StopCondition fn);
 
   /// Ready-made stop conditions for add_stop().
@@ -133,6 +187,45 @@ class Session {
   /// Run one full campaign under the spec's budgets and the registered
   /// stop conditions.
   CampaignResult run();
+
+  /// Continue the next run() from a captured frontier instead of starting
+  /// fresh (durable-state resume, `specure run --resume`, the serve
+  /// daemon's restart recovery). The frontier must come from a campaign
+  /// with the same result-affecting spec fields; wall-clock-only fields
+  /// (jobs, pipeline, checkpoint, intervals, output paths) may differ —
+  /// the result stays bit-identical either way.
+  void resume_from(CampaignFrontier frontier);
+
+  /// Ask the running campaign to pause at the next merge boundary
+  /// (async-signal-safe: one relaxed atomic store — the CLI's
+  /// SIGINT/SIGTERM handler calls this). run() then returns the partial
+  /// result, paused() turns true, and the next run() continues from the
+  /// captured frontier.
+  void request_pause() {
+    pause_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Pause once `merged_iterations` total campaign iterations have merged
+  /// (the serve daemon's time-slice boundary). 0 disables. A target at or
+  /// below the current merge count pauses at the next boundary.
+  void request_pause_at(std::uint64_t merged_iterations) {
+    pause_at_.store(merged_iterations, std::memory_order_relaxed);
+  }
+
+  /// True when the most recent run() ended in a pause rather than a
+  /// completed campaign (its frontier is pending: the next run()
+  /// continues where it left off).
+  bool paused() const { return paused_; }
+
+  /// After a paused run(): produce the side outputs the campaign has
+  /// earned so far — drain the deferred VCD waveforms and run finding
+  /// triage on the partial result — without consuming the pause frontier,
+  /// so a later resume_from()/run() still completes the campaign (and
+  /// re-derives the same outputs at the true end, superseding these).
+  /// `specure run`'s SIGINT/SIGTERM path: an interrupted campaign keeps
+  /// its report, triage and waveforms AND stays resumable. No-op unless
+  /// paused().
+  void finalize_interrupted();
 
   const CampaignSpec& spec() const { return spec_; }
   const OfflineResult& offline() const { return offline_; }
@@ -176,6 +269,15 @@ class Session {
   std::vector<std::function<void(const BatchEvent&)>> batch_observers_;
   std::vector<std::function<void(const triage::MinimizedEvent&)>>
       minimized_observers_;
+  std::vector<std::pair<std::function<void(const CampaignFrontier&)>, double>>
+      frontier_sinks_;
+  /// Pending resume frontier: set by resume_from() or by a pause; the
+  /// next run() consumes it.
+  std::unique_ptr<CampaignFrontier> resume_;
+  std::atomic<bool> pause_requested_{false};
+  std::atomic<std::uint64_t> pause_at_{0};
+  bool paused_ = false;
+  double prior_seconds_ = 0;
   std::vector<StopCondition> stops_;
   std::unique_ptr<triage::TriageReport> triage_report_;
   PipelineStats pipeline_stats_;

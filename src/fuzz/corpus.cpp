@@ -125,6 +125,23 @@ riscv::Program Fuzzer::generate() {
   return last_;
 }
 
+FuzzerState Fuzzer::save_state() const {
+  FuzzerState state;
+  state.rng_state = rng_.state();
+  state.iteration = iteration_;
+  state.corpus = corpus_.entries();
+  state.pending_seeds = pending_seeds_;
+  return state;
+}
+
+void Fuzzer::restore_state(const FuzzerState& state) {
+  rng_.set_state(state.rng_state);
+  iteration_ = state.iteration;
+  corpus_.restore(state.corpus);
+  pending_seeds_ = state.pending_seeds;
+  gen_has_parent_ = false;
+}
+
 void Fuzzer::report_interesting(const riscv::Program& program) {
   report_interesting(program, iteration_);
 }

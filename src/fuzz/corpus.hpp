@@ -3,6 +3,7 @@
 // energy decays as an entry is reused so the fuzzer keeps exploring.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,6 +36,13 @@ class Corpus {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+  /// Replace the entry set wholesale (campaign state restore). Entry
+  /// order is part of the deterministic contract: select() walks entries
+  /// in order, so a restored corpus must present them exactly as saved.
+  void restore(std::vector<CorpusEntry> entries) {
+    entries_ = std::move(entries);
+  }
 
  private:
   std::vector<CorpusEntry> entries_;
@@ -78,6 +86,20 @@ struct FuzzJob {
   std::size_t divergence = 0;
 };
 
+/// Everything that determines the fuzzer's future output stream, as one
+/// plain value: the RNG state, the iteration cursor, the corpus entries
+/// (order matters — select() walks them in order) and the not-yet-served
+/// seeds. save_state()/restore_state() round-trips it, which is the
+/// fuzzing half of the durable campaign frontier (serve/campaign_state):
+/// a fuzzer restored from a state drawn after job I continues with job
+/// I + 1 exactly as the uninterrupted fuzzer would have.
+struct FuzzerState {
+  std::array<std::uint64_t, 4> rng_state{};
+  std::uint64_t iteration = 0;
+  std::vector<CorpusEntry> corpus;
+  std::vector<Seed> pending_seeds;
+};
+
 /// The Hardware Fuzzer component (§3.2): owns the corpus, generates the
 /// next test input, and accepts interestingness feedback from the
 /// coverage/vulnerability components.
@@ -113,6 +135,14 @@ class Fuzzer {
 
   std::uint64_t iteration() const { return iteration_; }
   const Corpus& corpus() const { return corpus_; }
+
+  /// Snapshot / restore the deterministic generation state. The derived
+  /// job-seed base is not part of the state: it is a pure function of the
+  /// construction seed, so the restoring fuzzer (built from the same
+  /// spec) recomputes it. last_/gen_parent_ are dead between next_job()
+  /// calls and are likewise excluded.
+  FuzzerState save_state() const;
+  void restore_state(const FuzzerState& state);
 
  private:
   riscv::Program generate();

@@ -1,0 +1,159 @@
+// Byte-level primitives for the durable campaign state format
+// (serve/campaign_state): a little-endian writer over a growable buffer
+// and a bounds-checked reader whose every access is labelled, so a
+// truncated or gnawed-on state file fails with "truncated while reading
+// <field> at byte N" instead of UB or a silent garbage decode.
+//
+// All integers are little-endian regardless of host order; doubles
+// travel as their IEEE-754 bit pattern in a u64. Strings and byte blobs
+// are u64-length-prefixed.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specure::serve {
+
+/// Thrown for every campaign-state failure: unreadable file, bad magic,
+/// version skew, checksum mismatch, truncation, or a resume against a
+/// spec that would change the result. Messages are actionable — they
+/// name the file, the offending byte/field, and what to do about it.
+class StateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a over a byte range — the state file's integrity checksum (same
+/// hash family the corpus uses for program identity).
+inline std::uint64_t fnv1a(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void bytes(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  double f64(const char* what) {
+    const std::uint64_t bits = u64(what);
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str(const char* what) {
+    const std::uint64_t len = u64(what);
+    // A length that exceeds what is left means the length itself is
+    // corrupt — report it rather than trying a multi-GiB allocation.
+    if (len > remaining()) {
+      throw StateError("campaign state is truncated or corrupted: " +
+                       std::string(what) + " at byte " +
+                       std::to_string(pos_) + " claims " +
+                       std::to_string(len) + " bytes but only " +
+                       std::to_string(remaining()) + " remain");
+    }
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+  /// A count prefix for a repeated group: like u64, but additionally
+  /// sanity-checked against the bytes left (each element needs at least
+  /// `min_element_bytes`), so a corrupt count fails here, not OOM.
+  std::uint64_t count(const char* what, std::size_t min_element_bytes) {
+    const std::uint64_t n = u64(what);
+    if (min_element_bytes != 0 && n > remaining() / min_element_bytes) {
+      throw StateError("campaign state is truncated or corrupted: " +
+                       std::string(what) + " at byte " +
+                       std::to_string(pos_ - 8) + " claims " +
+                       std::to_string(n) + " elements but only " +
+                       std::to_string(remaining()) + " bytes remain");
+    }
+    return n;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n, const char* what) {
+    if (remaining() < n) {
+      throw StateError(
+          "campaign state is truncated: reading " + std::string(what) +
+          " at byte " + std::to_string(pos_) + " needs " + std::to_string(n) +
+          " bytes but only " + std::to_string(remaining()) +
+          " remain — the file was cut off mid-write; resume from an intact "
+          "state file or restart the campaign without --resume");
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace specure::serve

@@ -46,6 +46,16 @@ class CoverageRecorder {
   /// signal).
   std::size_t merge(const CoverageRecorder& other);
 
+  /// Overwrite the accumulator from a saved point list + toggle count
+  /// (campaign state restore; the serializer saves points() sorted so the
+  /// on-disk form is deterministic, order here is irrelevant).
+  void restore(const std::vector<std::string>& points,
+               std::uint64_t toggle_bits) {
+    points_.clear();
+    points_.insert(points.begin(), points.end());
+    toggle_bits_ = toggle_bits;
+  }
+
   void clear();
 
  private:

@@ -7,6 +7,7 @@
 // strong enough for fuzzing workloads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -62,6 +63,13 @@ class Rng {
   /// state without perturbing this generator (unlike fork(), which
   /// advances the parent).
   Rng split(std::uint64_t stream) const;
+
+  /// The raw xoshiro256** state, for whole-campaign checkpoint/restore.
+  /// set_state() with a previous state() resumes the exact stream.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0]; s_[1] = s[1]; s_[2] = s[2]; s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

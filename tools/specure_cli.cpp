@@ -34,12 +34,17 @@
 // with a non-zero exit and a "did you mean" hint — nothing is silently
 // ignored. Usage errors exit 64; runtime failures exit 1; campaigns that
 // found vulnerabilities exit 2 (for CI).
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/offline.hpp"
@@ -48,6 +53,9 @@
 #include "core/specure.hpp"
 #include "core/sweep.hpp"
 #include "riscv/disasm.hpp"
+#include "serve/campaign_state.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/structure.hpp"
 #include "triage/triage.hpp"
 #include "util/fs.hpp"
@@ -248,6 +256,37 @@ int report_and_exit_code(const core::CampaignResult& result,
   return result.vulns.empty() ? kExitOk : kExitFindings;
 }
 
+// ----------------------------------------------------- SIGINT/SIGTERM stop --
+
+/// The Session the signal handler pauses (set only while run() executes).
+std::atomic<core::Session*> g_signal_session{nullptr};
+std::atomic<int> g_signal_count{0};
+
+/// First SIGINT/SIGTERM: ask the campaign to pause at its next merge
+/// boundary (request_pause is one relaxed atomic store — async-signal-
+/// safe). Second signal: force-quit with the conventional 128+SIGINT.
+extern "C" void on_stop_signal(int) {
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1) {
+    _exit(130);
+  }
+  if (core::Session* session =
+          g_signal_session.load(std::memory_order_relaxed)) {
+    session->request_pause();
+  }
+  const char msg[] =
+      "\n[specure] stopping at the next merge boundary (again to force-quit)\n";
+  const ssize_t ignored = ::write(2, msg, sizeof(msg) - 1);
+  (void)ignored;
+}
+
+void install_stop_handler() {
+  struct sigaction sa {};
+  sa.sa_handler = on_stop_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
 // ---------------------------------------------------------------- commands --
 
 const std::vector<FlagDef> kRunFlags = {
@@ -260,6 +299,11 @@ const std::vector<FlagDef> kRunFlags = {
     {"--save", true, "write the resolved spec as TOML to FILE"},
     {"--vcd-out", true,
      "write a VCD waveform per confirmed vulnerability window into DIR"},
+    {"--state-out", true,
+     "write the durable campaign state to FILE (sugar for state_out=)"},
+    {"--state-interval", true,
+     "seconds between cadence state writes (sugar for state_interval=)"},
+    {"--resume", true, "resume a campaign from a state FILE"},
     {"--dry-run", false, "print the resolved spec and exit"},
     {"--quiet", false, "suppress the progress/finding feed"},
     {"--stats", false, "print per-stage pipeline timing after the campaign"},
@@ -282,8 +326,18 @@ int cmd_run(const Args& args) {
                  "specure: give either a spec file or --preset, not both\n");
     return kExitUsage;
   }
+  const bool resuming = args.has("--resume");
+  if (resuming && (!args.positional.empty() || args.has("--preset"))) {
+    std::fprintf(stderr,
+                 "specure: --resume carries its own spec — drop the spec "
+                 "file/--preset (result-neutral overrides still apply)\n");
+    return kExitUsage;
+  }
+  serve::CampaignState state;
+  if (resuming) state = serve::load_state_file(args.get("--resume"));
   core::CampaignSpec spec =
-      !args.positional.empty() ? core::CampaignSpec::load(args.positional[0])
+      resuming                 ? state.spec
+      : !args.positional.empty() ? core::CampaignSpec::load(args.positional[0])
       : args.has("--preset")   ? core::CampaignSpec::preset(args.get("--preset"))
                                : core::CampaignSpec{};
   apply_common_overrides(spec, args);
@@ -301,7 +355,16 @@ int cmd_run(const Args& args) {
     }
     spec.set("vcd_out", dir);
   }
+  if (args.has("--state-out")) spec.set("state_out", args.get("--state-out"));
+  if (args.has("--state-interval")) {
+    spec.set("state_interval", args.get("--state-interval"));
+  }
   spec.validate();
+  if (resuming) {
+    // Guards the bit-identity contract: only result-neutral keys (jobs,
+    // pipeline, output paths, intervals) may differ from the stored spec.
+    spec = serve::resume_spec(state, spec);
+  }
 
   if (args.has("--save")) {
     spec.save(args.get("--save"));
@@ -314,7 +377,36 @@ int cmd_run(const Args& args) {
 
   core::Session session(spec);
   attach_console_observers(session, args.has("--quiet"));
+  if (!spec.state_out.empty()) {
+    session.on_frontier(
+        [&spec](const core::CampaignFrontier& f) {
+          serve::save_state_file(spec.state_out, spec, f);
+        },
+        spec.state_interval);
+  }
+  if (resuming) session.resume_from(std::move(state.frontier));
+
+  // SIGINT/SIGTERM stop the campaign at its next merge boundary; the run
+  // still reports, triages and (with state_out) stays resumable.
+  g_signal_session.store(&session, std::memory_order_relaxed);
+  install_stop_handler();
   const core::CampaignResult result = session.run();
+  g_signal_session.store(nullptr, std::memory_order_relaxed);
+
+  if (session.paused()) {
+    std::fprintf(stderr,
+                 "[specure] interrupted after %zu iterations — partial "
+                 "report follows%s\n",
+                 result.history.size(),
+                 spec.state_out.empty()
+                     ? " (no state_out configured: not resumable)"
+                     : ("; resume with `specure run --resume " +
+                        spec.state_out + "`")
+                           .c_str());
+    // Partial side outputs (VCD waveforms, triage) without consuming the
+    // pause frontier — the state file keeps pointing at a resumable spot.
+    session.finalize_interrupted();
+  }
   return report_and_exit_code(result, spec, session, args);
 }
 
@@ -646,6 +738,226 @@ int cmd_disasm(const Args& args) {
   return kExitOk;
 }
 
+// -------------------------------------------------- campaign-as-a-service --
+
+constexpr const char* kDefaultSocket = "specure.sock";
+constexpr const char* kDefaultStore = "specure-store";
+
+const std::vector<FlagDef> kServeFlags = {
+    {"--socket", true, "Unix-domain socket to listen on (default specure.sock)"},
+    {"--store", true, "campaign store directory (default specure-store)"},
+    {"--workers", true, "shared pool threads, 0 = all hardware"},
+    {"--slice", true, "fair-scheduling quantum in iterations (default 32)"},
+    {"--state-interval", true,
+     "extra state-write cadence in seconds (0 = slice boundaries only)"},
+};
+
+int cmd_serve(const Args& args) {
+  serve::ServerOptions options;
+  options.socket_path = args.get("--socket", kDefaultSocket);
+  options.store_root = args.get("--store", kDefaultStore);
+  options.workers = static_cast<std::size_t>(
+      std::strtoull(args.get("--workers", "0").c_str(), nullptr, 10));
+  options.slice_iterations =
+      std::strtoull(args.get("--slice", "32").c_str(), nullptr, 10);
+  options.state_interval =
+      std::strtod(args.get("--state-interval", "0").c_str(), nullptr);
+
+  // Block the stop signals before the server spawns any thread (the mask
+  // is inherited), then watch for them next to the serving thread:
+  // Server::shutdown() takes locks, so it must not run inside a handler.
+  sigset_t stop_set;
+  ::sigemptyset(&stop_set);
+  ::sigaddset(&stop_set, SIGINT);
+  ::sigaddset(&stop_set, SIGTERM);
+  ::pthread_sigmask(SIG_BLOCK, &stop_set, nullptr);
+
+  serve::Server server(std::move(options));
+  std::fprintf(stderr, "[specure] serving on %s (store %s, %zu workers)\n",
+               server.options().socket_path.c_str(),
+               server.options().store_root.c_str(),
+               server.options().workers != 0
+                   ? server.options().workers
+                   : static_cast<std::size_t>(
+                         std::thread::hardware_concurrency()));
+  std::atomic<bool> done{false};
+  std::thread serving([&server, &done] {
+    server.run();
+    done.store(true, std::memory_order_relaxed);
+  });
+  bool asked = false;
+  const timespec tick{0, 200 * 1000 * 1000};
+  while (!done.load(std::memory_order_relaxed)) {
+    const int sig = ::sigtimedwait(&stop_set, nullptr, &tick);
+    if (sig <= 0) continue;
+    if (asked) _exit(130);
+    asked = true;
+    std::fprintf(stderr,
+                 "[specure] caught signal: campaigns pause at their next "
+                 "merge boundary and persist (again to force-quit)\n");
+    server.shutdown();
+  }
+  serving.join();
+  std::fprintf(stderr, "[specure] daemon stopped; campaigns resume on the "
+                       "next `specure serve --store %s`\n",
+               server.options().store_root.c_str());
+  return kExitOk;
+}
+
+const std::vector<FlagDef> kClientFlags = {
+    {"--socket", true, "daemon socket path (default specure.sock)"},
+};
+
+const std::vector<FlagDef> kSubmitFlags = {
+    {"--socket", true, "daemon socket path (default specure.sock)"},
+    {"--preset", true, "submit a named scenario preset instead of a file"},
+    {"--iters", true, "iteration budget (sugar for iterations=N)"},
+    {"--seed", true, "campaign RNG seed (sugar for seed=S)"},
+    {"--batch", true, "batch size (sugar for batch=B)"},
+};
+
+const std::vector<FlagDef> kEventsFlags = {
+    {"--socket", true, "daemon socket path (default specure.sock)"},
+    {"--from", true, "first event index to stream (default 0)"},
+    {"--no-follow", false, "dump the log so far and exit instead of tailing"},
+};
+
+/// Render a daemon response: errors to stderr (exit 1), otherwise one
+/// human-readable line from the well-known fields.
+int print_reply(const serve::Json& reply) {
+  if (const serve::Json* error = reply.find("error")) {
+    std::fprintf(stderr, "specure: %s\n", error->text.c_str());
+    return kExitError;
+  }
+  std::string line;
+  if (const serve::Json* id = reply.find("id")) line += id->text;
+  if (const serve::Json* status = reply.find("status")) {
+    line += (line.empty() ? "" : ": ") + status->text;
+  }
+  if (const serve::Json* iters = reply.find("iterations")) {
+    line += "  iterations=" +
+            std::to_string(static_cast<std::uint64_t>(iters->number));
+  }
+  if (const serve::Json* vulns = reply.find("vulns")) {
+    line += "  vulns=" +
+            std::to_string(static_cast<std::uint64_t>(vulns->number));
+  }
+  if (const serve::Json* detail = reply.find("detail")) {
+    line += "  (" + detail->text + ")";
+  }
+  std::printf("%s\n", line.empty() ? "ok" : line.c_str());
+  return kExitOk;
+}
+
+/// Shared body of pause/resume/cancel (and status with an id): one
+/// id-addressed verb, one response frame.
+int send_id_verb(const char* verb, const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr, "usage: specure %s CAMPAIGN_ID [--socket PATH]\n",
+                 verb);
+    return kExitUsage;
+  }
+  serve::Client client(args.get("--socket", kDefaultSocket));
+  return print_reply(client.request(
+      std::string("{\"verb\": \"") + verb + "\", \"id\": \"" +
+      serve::escape_json(args.positional[0]) + "\"}"));
+}
+
+int cmd_submit(const Args& args) {
+  if (args.positional.size() > 1 ||
+      (!args.positional.empty() && args.has("--preset"))) {
+    std::fprintf(stderr,
+                 "usage: specure submit [SPEC.toml | --preset NAME] "
+                 "[key=value ...] [--socket PATH]\n");
+    return kExitUsage;
+  }
+  core::CampaignSpec spec =
+      !args.positional.empty() ? core::CampaignSpec::load(args.positional[0])
+      : args.has("--preset")   ? core::CampaignSpec::preset(args.get("--preset"))
+                               : core::CampaignSpec{};
+  apply_common_overrides(spec, args);
+  spec.validate();  // reject locally before bothering the daemon
+
+  serve::Client client(args.get("--socket", kDefaultSocket));
+  const serve::Json reply = client.request(
+      "{\"verb\": \"submit\", \"spec\": \"" +
+      serve::escape_json(spec.to_toml()) + "\"}");
+  if (const serve::Json* error = reply.find("error")) {
+    std::fprintf(stderr, "specure: %s\n", error->text.c_str());
+    return kExitError;
+  }
+  const serve::Json* id = reply.find("id");
+  std::printf("%s\n", id != nullptr ? id->text.c_str() : "ok");
+  return kExitOk;
+}
+
+int cmd_status(const Args& args) {
+  if (args.positional.size() == 1) return send_id_verb("status", args);
+  if (!args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: specure status [CAMPAIGN_ID] [--socket PATH]\n");
+    return kExitUsage;
+  }
+  // No id: list every campaign the daemon knows.
+  serve::Client client(args.get("--socket", kDefaultSocket));
+  const serve::Json reply = client.request("{\"verb\": \"list\"}");
+  if (const serve::Json* error = reply.find("error")) {
+    std::fprintf(stderr, "specure: %s\n", error->text.c_str());
+    return kExitError;
+  }
+  const serve::Json* campaigns = reply.find("campaigns");
+  if (campaigns == nullptr || campaigns->items.empty()) {
+    std::printf("no campaigns\n");
+    return kExitOk;
+  }
+  for (const serve::Json& row : campaigns->items) {
+    print_reply(row);
+  }
+  return kExitOk;
+}
+
+int cmd_events(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: specure events CAMPAIGN_ID [--from N] "
+                 "[--no-follow] [--socket PATH]\n");
+    return kExitUsage;
+  }
+  serve::Client client(args.get("--socket", kDefaultSocket));
+  client.send("{\"verb\": \"events\", \"id\": \"" +
+              serve::escape_json(args.positional[0]) +
+              "\", \"from\": " + args.get("--from", "0") +
+              ", \"follow\": " +
+              (args.has("--no-follow") ? "false" : "true") + "}");
+  std::string raw;
+  while (client.next_raw(raw)) {
+    std::printf("%s\n", raw.c_str());
+    std::fflush(stdout);
+    const serve::Json frame = serve::parse_json(raw);
+    if (const serve::Json* error = frame.find("error")) {
+      std::fprintf(stderr, "specure: %s\n", error->text.c_str());
+      return kExitError;
+    }
+    const serve::Json* event = frame.find("event");
+    if (event != nullptr && event->text == "end") return kExitOk;
+  }
+  std::fprintf(stderr, "specure: daemon closed the event stream\n");
+  return kExitError;
+}
+
+int cmd_pause(const Args& args) { return send_id_verb("pause", args); }
+int cmd_resume(const Args& args) { return send_id_verb("resume", args); }
+int cmd_cancel(const Args& args) { return send_id_verb("cancel", args); }
+
+int cmd_shutdown(const Args& args) {
+  if (!args.positional.empty()) {
+    std::fprintf(stderr, "usage: specure shutdown [--socket PATH]\n");
+    return kExitUsage;
+  }
+  serve::Client client(args.get("--socket", kDefaultSocket));
+  return print_reply(client.request("{\"verb\": \"shutdown\"}"));
+}
+
 // ------------------------------------------------------------------- main --
 
 struct CommandDef {
@@ -665,6 +977,14 @@ const std::vector<CommandDef>& commands() {
       {"offline", &kOfflineFlags, false, cmd_offline},
       {"audit", &kAuditFlags, false, cmd_audit},
       {"disasm", nullptr, false, cmd_disasm},
+      {"serve", &kServeFlags, false, cmd_serve},
+      {"submit", &kSubmitFlags, true, cmd_submit},
+      {"status", &kClientFlags, false, cmd_status},
+      {"events", &kEventsFlags, false, cmd_events},
+      {"pause", &kClientFlags, false, cmd_pause},
+      {"resume", &kClientFlags, false, cmd_resume},
+      {"cancel", &kClientFlags, false, cmd_cancel},
+      {"shutdown", &kClientFlags, false, cmd_shutdown},
   };
   return kCommands;
 }
@@ -672,11 +992,11 @@ const std::vector<CommandDef>& commands() {
 void usage() {
   std::fprintf(
       stderr,
-      "specure <run|sweep|triage|presets|fuzz|offline|audit|disasm> "
-      "[options]\n"
+      "specure <run|sweep|triage|presets|fuzz|offline|audit|disasm|serve|"
+      "submit|status|events|pause|resume|cancel|shutdown> [options]\n"
       "  run [SPEC.toml] [--preset NAME] [key=value ...] [--iters N]\n"
       "      [--seed S] [--json F] [--save F] [--vcd-out DIR] [--dry-run]\n"
-      "      [--quiet]\n"
+      "      [--state-out F] [--state-interval S] [--resume STATE] [--quiet]\n"
       "  sweep (--preset NAME | --spec FILE)... [key=value ...]\n"
       "      [--iters N] [--seed S] [--concurrency N] [--json F] [--quiet]\n"
       "  triage REPORT.json|SPEC.toml [--out DIR] [--jobs N] [--json F]\n"
@@ -688,7 +1008,14 @@ void usage() {
       "      [--no-special-seeds] [--quiet]   (deprecated: use `run`)\n"
       "  offline [--mwait] [--zenbleed] [--dot F] [--verilog F]\n"
       "  audit FILE.v --top MODULE [--dot F]\n"
-      "  disasm HEXWORD [PC]\n");
+      "  disasm HEXWORD [PC]\n"
+      "  serve [--socket PATH] [--store DIR] [--workers N] [--slice N]\n"
+      "      [--state-interval S]   (campaign daemon; resumes its store)\n"
+      "  submit [SPEC.toml | --preset NAME] [key=value ...] [--socket PATH]\n"
+      "  status [CAMPAIGN_ID] [--socket PATH]\n"
+      "  events CAMPAIGN_ID [--from N] [--no-follow] [--socket PATH]\n"
+      "  pause|resume|cancel CAMPAIGN_ID [--socket PATH]\n"
+      "  shutdown [--socket PATH]\n");
 }
 
 }  // namespace
