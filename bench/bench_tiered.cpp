@@ -1,0 +1,266 @@
+// Tiered execution: iterations/sec of the fast-functional prefix tier
+// (tier=fast, Simulator::run_tiered) against the detailed-only path
+// (tier=detailed), on the default MiniBOOM configuration.
+//
+// Two cold workloads (checkpointing disabled in both workers so the
+// measurement isolates the tier policy):
+//
+//   corpus-tail  corpus-style programs drawn from the fuzzer (special +
+//                random seeds). Generic traffic: most programs arm
+//                speculation within a few instructions, so the fast
+//                tier's prefix is short — the requirement here is "no
+//                regression", not a speedup.
+//   long-prefix  a long straight-line ALU/load/store ramp before the
+//                first branch — the paper's leak-gadget setup shape
+//                (build attacker state, then branch), where nearly the
+//                whole run is prefix. The headline acceptance number:
+//                expected >= 2x.
+//
+// Every tier=fast result is verified against its detailed twin (cycles,
+// coverage, LP hits, finding keys); any divergence fails the bench. A
+// handoff-cycle histogram shows where the fast tier hands control to
+// the detailed core across each workload.
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/campaign_worker.hpp"
+#include "core/offline.hpp"
+#include "fuzz/corpus.hpp"
+#include "riscv/decode.hpp"
+#include "riscv/program.hpp"
+
+namespace {
+
+using namespace specure;
+
+/// Straight-line ALU/load/store ramp of `prefix_len` instructions, then
+/// a branch and a short tail: the handoff lands at the branch, so the
+/// fast tier executes essentially the whole run.
+riscv::Program long_prefix_gadget(util::Rng& rng, std::size_t prefix_len) {
+  riscv::ProgramBuilder b;
+  b.li(10, static_cast<std::int64_t>(riscv::kDataBase));
+  for (std::size_t i = 0; i < prefix_len; ++i) {
+    switch (rng.below(5)) {
+      case 0: b.addi(5 + rng.below(8), 5 + rng.below(8),
+                     static_cast<std::int32_t>(rng.below(64)) - 32);
+              break;
+      case 1: b.xor_(5 + rng.below(8), 5 + rng.below(8), 5 + rng.below(8));
+              break;
+      case 2: b.add(5 + rng.below(8), 5 + rng.below(8), 5 + rng.below(8));
+              break;
+      case 3: b.lw(5 + rng.below(8), 10,
+                   static_cast<std::int32_t>(rng.below(24)) * 8);
+              break;
+      default: b.sw(5 + rng.below(8), 10,
+                    static_cast<std::int32_t>(rng.below(24)) * 8);
+               break;
+    }
+  }
+  b.branch(riscv::Op::kBne, 5, 6, "skip");
+  b.addi(7, 7, 1);
+  b.label("skip");
+  b.ecall();
+  riscv::Program p = b.build();
+  p.data.resize(256);
+  for (auto& byte : p.data) byte = static_cast<std::uint8_t>(rng.below(256));
+  return p;
+}
+
+bool results_match(const core::WorkerResult& a, const core::WorkerResult& b) {
+  if (a.cycles != b.cycles || a.lp_hits != b.lp_hits ||
+      a.windows.size() != b.windows.size() ||
+      a.reports.size() != b.reports.size() ||
+      a.coverage.points() != b.coverage.points() ||
+      a.coverage.toggle_bits() != b.coverage.toggle_bits()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    if (core::dedup_key(a.reports[i]) != core::dedup_key(b.reports[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Handoff-cycle histogram buckets (prefix cycles spent in the fast tier
+/// per run): 0 | 1-16 | 17-64 | 65-256 | 257+.
+constexpr std::array<std::uint64_t, 4> kBucketEdges{0, 16, 64, 256};
+
+std::size_t bucket_of(std::uint64_t cycles) {
+  for (std::size_t i = 0; i < kBucketEdges.size(); ++i) {
+    if (cycles <= kBucketEdges[i]) return i;
+  }
+  return kBucketEdges.size();
+}
+
+struct Row {
+  double detailed_ips = 0;
+  double fast_ips = 0;
+  double speedup = 0;
+  std::uint64_t fast_cycles = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t fallbacks = 0;
+  std::array<std::uint64_t, 5> histogram{};
+  bool identical = true;
+};
+
+Row run_workload(const std::vector<fuzz::FuzzJob>& jobs,
+                 const core::CampaignSpec& spec,
+                 const core::OfflineResult& offline) {
+  core::WorkerCheckpointOptions no_ckpt;
+  no_ckpt.enabled = false;  // isolate the tier policy from checkpoint reuse
+  core::WorkerTierOptions fast_tier;
+  core::WorkerTierOptions detailed_tier;
+  detailed_tier.fast = false;
+  core::CampaignWorker fast(spec.core, offline, spec.lp_policy,
+                            spec.detector, no_ckpt, fast_tier);
+  core::CampaignWorker detailed(spec.core, offline, spec.lp_policy,
+                                spec.detector, no_ckpt, detailed_tier);
+
+  Row row;
+  // Round 0 verifies every tier=fast result against its detailed twin
+  // and collects the tier telemetry; the remaining rounds re-time the
+  // identical job stream. Rounds interleave the two workers and the
+  // reported rate is each side's best round, so transient machine load
+  // cannot masquerade as a tier effect.
+  constexpr int kRounds = 3;
+  double detailed_s = 0, fast_s = 0;
+  std::vector<core::WorkerResult> detailed_results;
+  detailed_results.reserve(jobs.size());
+  for (int round = 0; round < kRounds; ++round) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& job : jobs) {
+      if (round == 0) {
+        detailed_results.push_back(detailed.process(job));
+      } else {
+        detailed.process(job);
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::uint64_t prev_fast_cycles = fast.tier_stats().fast_cycles;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (round == 0) {
+        if (!results_match(fast.process(jobs[i]), detailed_results[i])) {
+          row.identical = false;
+        }
+        const std::uint64_t total = fast.tier_stats().fast_cycles;
+        ++row.histogram[bucket_of(total - prev_fast_cycles)];
+        prev_fast_cycles = total;
+      } else {
+        fast.process(jobs[i]);
+      }
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    const double d = std::chrono::duration<double>(t1 - t0).count();
+    const double f = std::chrono::duration<double>(t2 - t1).count();
+    if (round == 0 || d < detailed_s) detailed_s = d;
+    if (round == 0 || f < fast_s) fast_s = f;
+    if (round == 0) {
+      row.fast_cycles = fast.tier_stats().fast_cycles;
+      row.handoffs = fast.tier_stats().handoffs;
+      row.completions = fast.tier_stats().fast_completions;
+      row.fallbacks = fast.tier_stats().fallbacks;
+    }
+  }
+  row.detailed_ips = detailed_s > 0 ? jobs.size() / detailed_s : 0;
+  row.fast_ips = fast_s > 0 ? jobs.size() / fast_s : 0;
+  row.speedup = row.detailed_ips > 0 ? row.fast_ips / row.detailed_ips : 0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace specure;
+  bench::BenchJson json(argc, argv, "tiered");
+  bench::header("Tiered execution: fast prefix tier (default MiniBOOM)");
+
+  core::CampaignSpec spec;  // default preset supplies core/detector config
+  const core::OfflineResult offline =
+      core::run_offline_phase(spec.core, spec.pdlc);
+
+  constexpr std::size_t kCorpusJobs = 96;
+  constexpr std::size_t kGadgetJobs = 48;
+  constexpr std::size_t kPrefixLen = 192;
+  bench::note("workloads: " + std::to_string(kCorpusJobs) +
+              " fuzzer corpus programs; " + std::to_string(kGadgetJobs) +
+              " long-prefix gadgets (" + std::to_string(kPrefixLen) +
+              "-inst straight-line ramp); checkpointing disabled in both "
+              "workers");
+
+  std::uint64_t iter = 0;
+  std::vector<fuzz::FuzzJob> corpus_jobs;
+  {
+    fuzz::FuzzerOptions options;
+    fuzz::Fuzzer fuzzer(options, 1);
+    for (std::size_t i = 0; i < kCorpusJobs; ++i) {
+      fuzz::FuzzJob j;
+      j.iteration = ++iter;
+      j.program = fuzzer.next();
+      corpus_jobs.push_back(std::move(j));
+    }
+  }
+  std::vector<fuzz::FuzzJob> gadget_jobs;
+  {
+    util::Rng rng(11);
+    for (std::size_t i = 0; i < kGadgetJobs; ++i) {
+      fuzz::FuzzJob j;
+      j.iteration = ++iter;
+      j.program = long_prefix_gadget(rng, kPrefixLen);
+      gadget_jobs.push_back(std::move(j));
+    }
+  }
+
+  std::printf("  %-12s %-11s %-10s %-9s %-12s %-9s %-10s %s\n", "workload",
+              "detailed/s", "fast/s", "speedup", "fast-cycles", "handoffs",
+              "fallbacks", "identical");
+  bool all_identical = true;
+  double gadget_speedup = 0;
+  const auto report = [&](const char* name, const char* key,
+                          const std::vector<fuzz::FuzzJob>& jobs) {
+    const Row row = run_workload(jobs, spec, offline);
+    std::printf("  %-12s %-11.1f %-10.1f %-9.2f %-12llu %-9llu %-10llu %s\n",
+                name, row.detailed_ips, row.fast_ips, row.speedup,
+                static_cast<unsigned long long>(row.fast_cycles),
+                static_cast<unsigned long long>(row.handoffs),
+                static_cast<unsigned long long>(row.fallbacks),
+                row.identical ? "yes" : "NO");
+    std::printf("    handoff cycles: 0:%llu  1-16:%llu  17-64:%llu  "
+                "65-256:%llu  257+:%llu\n",
+                static_cast<unsigned long long>(row.histogram[0]),
+                static_cast<unsigned long long>(row.histogram[1]),
+                static_cast<unsigned long long>(row.histogram[2]),
+                static_cast<unsigned long long>(row.histogram[3]),
+                static_cast<unsigned long long>(row.histogram[4]));
+    json.metric(std::string("iters_per_sec_detailed_") + key,
+                row.detailed_ips);
+    json.metric(std::string("iters_per_sec_fast_") + key, row.fast_ips);
+    json.metric(std::string("speedup_") + key, row.speedup);
+    json.metric(std::string("handoff_cycles_total_") + key,
+                static_cast<double>(row.fast_cycles));
+    all_identical = all_identical && row.identical;
+    return row.speedup;
+  };
+  const double corpus_speedup = report("corpus-tail", "corpus", corpus_jobs);
+  gadget_speedup = report("long-prefix", "gadget", gadget_jobs);
+
+  bench::note("headline: long-prefix gadget speedup; the acceptance floor "
+              "is 2x (corpus-tail must merely not regress)");
+  if (!all_identical) {
+    std::printf("  !! tier=fast results diverged from the detailed path\n");
+    return 1;
+  }
+  if (gadget_speedup < 2.0) {
+    std::printf("  !! long-prefix speedup %.2fx below the 2x floor\n",
+                gadget_speedup);
+  }
+  if (corpus_speedup < 0.9) {
+    std::printf("  !! corpus-tail regressed under tier=fast (%.2fx)\n",
+                corpus_speedup);
+  }
+  return 0;
+}

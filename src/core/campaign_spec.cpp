@@ -208,6 +208,20 @@ const std::vector<KeyDef>& key_table() {
                                  "' is not an executor (window | barrier)");
                }
              }},
+      KeyDef{"tier", "campaign", true,
+             [](const CampaignSpec& s) {
+               return std::string(tier_mode_name(s.tier));
+             },
+             [](CampaignSpec& s, const std::string& v) {
+               if (v == "detailed") {
+                 s.tier = TierMode::kDetailed;
+               } else if (v == "fast") {
+                 s.tier = TierMode::kFast;
+               } else {
+                 throw SpecError("tier: '" + v +
+                                 "' is not a tier (detailed | fast)");
+               }
+             }},
       SPEC_BOOL("checkpoint", "campaign", checkpoint),
       SPEC_SIZE("checkpoint_cache_mb", "campaign", checkpoint_cache_mb),
       SPEC_SIZE("mst_rows", "campaign", mst_sample_rows),
@@ -333,6 +347,10 @@ std::string_view lp_policy_name(LpPolicy policy) {
 
 std::string_view pipeline_mode_name(PipelineMode mode) {
   return mode == PipelineMode::kWindow ? "window" : "barrier";
+}
+
+std::string_view tier_mode_name(TierMode mode) {
+  return mode == TierMode::kFast ? "fast" : "detailed";
 }
 
 std::string_view triage_mode_name(TriageMode mode) {

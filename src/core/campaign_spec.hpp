@@ -81,6 +81,16 @@ enum class PipelineMode : std::uint8_t { kWindow, kBarrier };
 
 std::string_view pipeline_mode_name(PipelineMode mode);
 
+/// Execution tier policy. kFast runs each cold job's straight-line
+/// prefix (up to the first instruction that can arm speculation for the
+/// active detector) through the fast-functional tier and hands off to
+/// the detailed core at the boundary; kDetailed runs everything on the
+/// detailed core. Bit-identical CampaignResults either way (pinned by
+/// the tiered differential suite) — only wall-clock behaviour differs.
+enum class TierMode : std::uint8_t { kDetailed, kFast };
+
+std::string_view tier_mode_name(TierMode mode);
+
 struct SpecField {
   std::string key;      ///< flat override key, e.g. "rob_entries"
   std::string section;  ///< TOML section: "", "core", "fuzzer", ...
@@ -112,6 +122,11 @@ struct CampaignSpec {
   /// results — both implement the same generation contract — only
   /// wall-clock scaling.
   PipelineMode pipeline = PipelineMode::kWindow;
+  /// Execution tier: fast (fast-functional prefix tier + detailed
+  /// continuation, default) | detailed (everything on the detailed
+  /// core). Never affects campaign results. Automatically degraded to
+  /// detailed when record_dense_trace is set.
+  TierMode tier = TierMode::kFast;
   /// Checkpointed incremental simulation: workers cache per-corpus-parent
   /// checkpoint sets and resume mutants from the deepest checkpoint
   /// preceding their first divergent instruction. Results are

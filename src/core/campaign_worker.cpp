@@ -1,5 +1,8 @@
 #include "core/campaign_worker.hpp"
 
+#include <algorithm>
+
+#include "fuzz/mutator.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace specure::core {
@@ -67,11 +70,13 @@ CampaignWorker::CampaignWorker(const sim::CoreConfig& core,
                                const OfflineResult& offline,
                                LpPolicy lp_policy,
                                const DetectorOptions& detector,
-                               const WorkerCheckpointOptions& checkpoint)
+                               const WorkerCheckpointOptions& checkpoint,
+                               const WorkerTierOptions& tier)
     : sim_(core),
       lp_probe_(offline.ifg, offline.pdlc, sim_.signal_db(), lp_policy),
       detector_(offline.ifg, offline.pdlc, sim_.signal_db(), detector),
       checkpoint_(checkpoint),
+      tier_(tier),
       cache_(checkpoint.cache_bytes),
       scratch_(&sim_.signal_db()) {}
 
@@ -79,12 +84,39 @@ const sim::RunResult& CampaignWorker::simulate(const fuzz::FuzzJob& job) {
   pending_points_.clear();
   const bool fast_path =
       checkpoint_.enabled && !sim_.config().record_dense_trace;
+  const bool tiered = tier_.fast && !sim_.config().record_dense_trace;
+
+  // The handoff point: first instruction that can arm speculation under
+  // the active detector policy, capped at the mutant's first divergence
+  // from its parent (past that index the decode scan describes the
+  // parent's prefix, not necessarily the mutant's — the cap keeps the
+  // fast tier inside the provably shared straight-line region).
+  std::size_t handoff = 0;
+  const riscv::DecodedProgram* dec = nullptr;  // one decode per job
+  if (tiered) {
+    dec = &sim_.decode(job.program);
+    handoff = fuzz::handoff_index(*dec, tier_.loads_arm);
+    if (job.has_parent) handoff = std::min(handoff, job.divergence);
+    // Shallow prefixes cost more to hand off than to just re-run in the
+    // detailed core: clamp to 0, which run_tiered treats as a pure
+    // detailed run (a TierStats fallback) while still reusing `dec`.
+    // Whole-run fast completions are exempt — they never pay a handoff.
+    if (handoff < tier_.min_handoff_insts && handoff < dec->insts.size()) {
+      handoff = 0;
+    }
+  }
+
   if (fast_path && job.has_parent && job.divergence > 0) {
     CheckpointCache::Entry* entry = cache_.find(job.parent_hash, job.parent);
     if (entry != nullptr) {
       const sim::Checkpoint* cp =
           entry->best_for(job.divergence, checkpoint_.min_resume_cycles);
-      if (cp != nullptr) {
+      // A tiered worker only resumes from checkpoints at/past the
+      // handoff: re-running the prefix in the fast tier dominates a
+      // shallower state restore + trace fork.
+      if (cp != nullptr &&
+          (!tiered || cp->fetch_watermark >= static_cast<std::uint64_t>(
+                                                 handoff))) {
         ++stats_.resumed;
         stats_.resumed_cycles += cp->cycle;
         sim_.run_from(*cp, entry->trace, entry->commits, job.program,
@@ -94,7 +126,16 @@ const sim::RunResult& CampaignWorker::simulate(const fuzz::FuzzJob& job) {
     }
   }
   ++stats_.cold;
-  if (fast_path) {
+  if (tiered) {
+    // `dec` (the handoff scan's decode) is still valid: no run happened
+    // in between, so the simulator skips a second decode.
+    if (fast_path) {
+      sim_.run_tiered(job.program, handoff, checkpoint_.cadence,
+                      pending_points_, scratch_, &tier_stats_, dec);
+    } else {
+      sim_.run_tiered(job.program, handoff, scratch_, &tier_stats_, dec);
+    }
+  } else if (fast_path) {
     // Emit checkpoints as a side effect (~1% of the run): if this
     // program later becomes a corpus parent, its resume points are
     // already on this worker (parent-affinity routes its children here).

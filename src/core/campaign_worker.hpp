@@ -67,6 +67,26 @@ struct WorkerCheckpointOptions {
   std::uint64_t min_resume_cycles = 48;
 };
 
+/// Worker-side tier policy (derived from the spec's `tier` key and the
+/// active detector preset).
+struct WorkerTierOptions {
+  /// Run cold jobs through the fast-functional prefix tier
+  /// (Simulator::run_tiered) instead of the detailed-only path. Results
+  /// are bit-identical either way; this is purely a throughput policy.
+  bool fast = true;
+  /// The detector monitors the data cache (cache-monitor / full
+  /// presets), so loads can arm its observation window: hand off at the
+  /// first load too, not just at control flow.
+  bool loads_arm = false;
+  /// A prefix shorter than this many instructions is not worth the
+  /// fast-tier entry + boundary materialization into the detailed core;
+  /// take the plain detailed path instead (the tier analogue of
+  /// WorkerCheckpointOptions::min_resume_cycles). Runs that complete
+  /// entirely inside the fast tier are exempt — they never pay the
+  /// handoff, so they win at any length.
+  std::size_t min_handoff_insts = 24;
+};
+
 /// Wall-clock telemetry of the fast path (never affects results).
 struct CheckpointStats {
   std::uint64_t resumed = 0;        ///< jobs served by run_from
@@ -128,7 +148,8 @@ class CampaignWorker {
  public:
   CampaignWorker(const sim::CoreConfig& core, const OfflineResult& offline,
                  LpPolicy lp_policy, const DetectorOptions& detector,
-                 const WorkerCheckpointOptions& checkpoint = {});
+                 const WorkerCheckpointOptions& checkpoint = {},
+                 const WorkerTierOptions& tier = {});
 
   /// Simulate and analyze one job, writing into `out` (cleared first;
   /// its windows/lp_hits/coverage buffers are reused, so recycling one
@@ -156,6 +177,9 @@ class CampaignWorker {
   const sim::Simulator& simulator() const { return sim_; }
   const CheckpointStats& checkpoint_stats() const { return stats_; }
   const CheckpointCache& checkpoint_cache() const { return cache_; }
+  /// Cumulative across the worker's lifetime (the session snapshots a
+  /// baseline per run() to report per-run deltas).
+  const sim::TierStats& tier_stats() const { return tier_stats_; }
 
  private:
   /// Run the job into the scratch RunResult, via checkpoint resume when
@@ -166,8 +190,10 @@ class CampaignWorker {
   LpCoverageMap lp_probe_;  ///< used const-only (probe), never committed
   VulnerabilityDetector detector_;
   WorkerCheckpointOptions checkpoint_;
+  WorkerTierOptions tier_;
   CheckpointCache cache_;
   CheckpointStats stats_;
+  sim::TierStats tier_stats_;
   sim::RunResult scratch_;  ///< reused across iterations (buffer reuse)
   /// Checkpoints emitted by the most recent cold run, pending donation
   /// to the cache once process() is done with the trace.

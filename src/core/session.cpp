@@ -173,16 +173,27 @@ CampaignResult Session::run() {
     checkpoint.cache_bytes =
         std::max<std::size_t>((spec_.checkpoint_cache_mb << 20) / jobs,
                               std::size_t{1} << 20);
+    WorkerTierOptions tier;
+    tier.fast = spec_.tier == TierMode::kFast;
+    // Cache-monitoring detectors observe loads, so the fast prefix must
+    // stop at the first load as well (fuzz::handoff_index policy).
+    tier.loads_arm = spec_.detector.monitor_cache;
     workers_.reserve(jobs);
     for (std::size_t w = workers_.size(); w < jobs; ++w) {
       workers_.push_back(std::make_unique<CampaignWorker>(
           spec_.core, offline_, spec_.lp_policy, spec_.detector,
-          checkpoint));
+          checkpoint, tier));
     }
   }
 
   pipeline_stats_ = PipelineStats{};
   pipeline_stats_.workers.resize(jobs);
+  // Worker tier stats are cumulative across run() calls; snapshot a
+  // baseline so this run reports its own deltas.
+  std::vector<sim::TierStats> tier_baseline(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    tier_baseline[w] = workers_[w]->tier_stats();
+  }
   const auto now = [] { return std::chrono::steady_clock::now(); };
   const auto secs = [](std::chrono::steady_clock::duration d) {
     return std::chrono::duration<double>(d).count();
@@ -641,6 +652,14 @@ CampaignResult Session::run() {
     run_barrier();
   } else {
     run_window();
+  }
+
+  for (std::size_t w = 0; w < jobs; ++w) {
+    const sim::TierStats& ts = workers_[w]->tier_stats();
+    PipelineWorkerStats& ws = pipeline_stats_.workers[w];
+    ws.fast_cycles = ts.fast_cycles - tier_baseline[w].fast_cycles;
+    ws.handoffs = ts.handoffs - tier_baseline[w].handoffs;
+    ws.tier_fallbacks = ts.fallbacks - tier_baseline[w].fallbacks;
   }
 
   pause_requested_.store(false, std::memory_order_relaxed);

@@ -129,6 +129,12 @@ struct alignas(64) PipelineWorkerStats {
   double execute_seconds = 0;     ///< time inside CampaignWorker::process
   double queue_wait_seconds = 0;  ///< time parked waiting for a job
   std::uint64_t jobs = 0;         ///< jobs this worker simulated
+  // Tier telemetry for this run (deltas of the worker's cumulative
+  // sim::TierStats): fast-tier cycles executed, handoffs to the detailed
+  // core, and handoff-at-0 fallbacks to a pure detailed run.
+  std::uint64_t fast_cycles = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t tier_fallbacks = 0;
 };
 
 /// Per-stage timing of the most recent run() — the diagnosis surface for

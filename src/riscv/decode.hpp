@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "riscv/isa.hpp"
 
@@ -24,5 +25,19 @@ struct DecodedInst {
 
 /// Decode one instruction word.
 DecodedInst decode(std::uint32_t word);
+
+/// A whole program decoded once, indexable by code-word index. One buffer
+/// is shared per worker between the detailed simulator, the fast tier and
+/// the ISS so a program is decoded at most once per run (build() keeps the
+/// vector's capacity across programs).
+struct DecodedProgram {
+  std::vector<DecodedInst> insts;
+
+  void build(const std::vector<std::uint32_t>& code) {
+    insts.clear();
+    insts.reserve(code.size());
+    for (const std::uint32_t word : code) insts.push_back(decode(word));
+  }
+};
 
 }  // namespace specure::riscv

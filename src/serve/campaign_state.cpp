@@ -425,10 +425,10 @@ const std::vector<std::string>& result_neutral_keys() {
   // Every key here is documented (and tested) to never change a
   // CampaignResult — only wall-clock behaviour and side-output paths.
   static const std::vector<std::string> keys = {
-      "jobs",          "pipeline",        "checkpoint",
-      "checkpoint_cache_mb", "progress_interval", "vcd_out",
-      "triage",        "triage_out",      "state_out",
-      "state_interval"};
+      "jobs",          "pipeline",        "tier",
+      "checkpoint",    "checkpoint_cache_mb", "progress_interval",
+      "vcd_out",       "triage",          "triage_out",
+      "state_out",     "state_interval"};
   return keys;
 }
 

@@ -4,7 +4,10 @@ namespace specure::sim {
 
 namespace csr = riscv::csr;
 
-CsrFile::CsrFile(const CoreConfig& cfg) : cfg_(cfg) {
+CsrFile::CsrFile(const CoreConfig& cfg) : cfg_(cfg) { reset(); }
+
+void CsrFile::reset() {
+  values_ = {};
   write(csr::kMisa, (1ULL << 63) | (1 << 8));  // RV64I
 }
 

@@ -25,6 +25,11 @@ class CsrFile {
  public:
   explicit CsrFile(const CoreConfig& cfg);
 
+  /// Back to power-on state (fresh values + MISA), so a CsrFile can be
+  /// reused across runs without reconstructing — the class holds its
+  /// config by reference and is deliberately not assignable.
+  void reset();
+
   std::uint64_t read(std::uint16_t addr) const;
   /// Commit-time write. Arming mwait_en loads the countdown timer.
   void write(std::uint16_t addr, std::uint64_t value);

@@ -1,0 +1,440 @@
+// Fast-functional prefix tier (see fast_tier.hpp and the "Tiered
+// execution" section of docs/ARCHITECTURE.md for the safety argument).
+//
+// The fast tier is NOT a separate ISS: it runs the same per-cycle stage
+// order as Core::loop() on the same component state, restricted to the
+// op set where speculation provably cannot arm. What it elides — and
+// where the speedup comes from — is everything that exists only because
+// of speculation or because the signal sweep cannot know what changed:
+//
+//   * capture: only signals a stage actually touched this cycle are
+//     re-recorded. The delta-native Trace appends an event only when a
+//     value changed, so skipping provably-unchanged signals produces a
+//     byte-identical event stream (a conservative superset dirty set is
+//     exact, not approximate).
+//   * execute: in-order allocation with no squashes means ROB ring order
+//     from head IS ascending seq order — no per-cycle vector + sort.
+//   * no unsafe-entry scans (nothing in the prefix can be unsafe), no
+//     control-resolution, no squash walks.
+//   * issue dispatches through a per-opcode function-pointer table
+//     instead of the nested format/op switches.
+
+#include <array>
+#include <bit>
+
+#include "sim/core_impl.hpp"
+
+namespace specure::sim {
+
+namespace {
+
+using detail::Core;
+using riscv::DecodedInst;
+using riscv::Op;
+
+constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kCount);
+
+/// One tiny function per ALU opcode — the threaded-dispatch kernel.
+template <Op kOp>
+std::uint64_t alu_op(const DecodedInst& d, std::uint64_t a, std::uint64_t b) {
+  const std::int64_t sa = static_cast<std::int64_t>(a);
+  const std::int64_t sb = static_cast<std::int64_t>(b);
+  auto sext32 = [](std::uint64_t v) {
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+  };
+  (void)d; (void)sa; (void)sb; (void)sext32;  // per-op instantiations
+  if constexpr (kOp == Op::kAddi || kOp == Op::kAdd) return a + b;
+  if constexpr (kOp == Op::kSub) return a - b;
+  if constexpr (kOp == Op::kSlti || kOp == Op::kSlt) return sa < sb ? 1 : 0;
+  if constexpr (kOp == Op::kSltiu || kOp == Op::kSltu) return a < b ? 1 : 0;
+  if constexpr (kOp == Op::kXori || kOp == Op::kXor) return a ^ b;
+  if constexpr (kOp == Op::kOri || kOp == Op::kOr) return a | b;
+  if constexpr (kOp == Op::kAndi || kOp == Op::kAnd) return a & b;
+  if constexpr (kOp == Op::kSlli || kOp == Op::kSll) return a << (b & 63);
+  if constexpr (kOp == Op::kSrli || kOp == Op::kSrl) return a >> (b & 63);
+  if constexpr (kOp == Op::kSrai || kOp == Op::kSra) {
+    return static_cast<std::uint64_t>(sa >> (b & 63));
+  }
+  if constexpr (kOp == Op::kAddiw || kOp == Op::kAddw) return sext32(a + b);
+  if constexpr (kOp == Op::kSubw) return sext32(a - b);
+  if constexpr (kOp == Op::kSlliw || kOp == Op::kSllw) {
+    return sext32(a << (b & 31));
+  }
+  if constexpr (kOp == Op::kSrliw || kOp == Op::kSrlw) {
+    return sext32(static_cast<std::uint32_t>(a) >> (b & 31));
+  }
+  if constexpr (kOp == Op::kSraiw || kOp == Op::kSraw) {
+    return sext32(static_cast<std::uint64_t>(static_cast<std::int32_t>(a) >>
+                                             (b & 31)));
+  }
+  if constexpr (kOp == Op::kLui) return static_cast<std::uint64_t>(d.imm);
+  if constexpr (kOp == Op::kMul) return a * b;
+  if constexpr (kOp == Op::kMulh) {
+    return static_cast<std::uint64_t>(
+        (static_cast<__int128>(sa) * static_cast<__int128>(sb)) >> 64);
+  }
+  if constexpr (kOp == Op::kDiv) {
+    if (b == 0) return ~0ULL;
+    if (sa == INT64_MIN && sb == -1) return a;
+    return static_cast<std::uint64_t>(sa / sb);
+  }
+  if constexpr (kOp == Op::kDivu) return b == 0 ? ~0ULL : a / b;
+  if constexpr (kOp == Op::kRem) {
+    if (b == 0) return a;
+    if (sa == INT64_MIN && sb == -1) return 0;
+    return static_cast<std::uint64_t>(sa % sb);
+  }
+  if constexpr (kOp == Op::kRemu) return b == 0 ? a : a % b;
+  return 0;  // non-ALU ops (never dispatched); kAuipc handled at issue
+}
+
+template <std::size_t... I>
+constexpr std::array<FastAluFn, kOpCount> make_alu_table(
+    std::index_sequence<I...>) {
+  return {&alu_op<static_cast<Op>(I)>...};
+}
+
+constexpr std::array<FastAluFn, kOpCount> kAluTable =
+    make_alu_table(std::make_index_sequence<kOpCount>{});
+
+}  // namespace
+
+const FastAluFn* fast_alu_table() { return kAluTable.data(); }
+
+std::uint64_t fast_alu_reference(const riscv::DecodedInst& d, std::uint64_t a,
+                                 std::uint64_t b) {
+  return detail::eval_alu(d, a, b);
+}
+
+namespace detail {
+
+void Core::fast_init() {
+  // Locate the dirty-set signal blocks in the flat schema once per run.
+  bool have_rfx = false, have_map = false, have_prf = false, have_dc = false,
+       have_tlb = false;
+  for (std::size_t i = 0; i < descs_.size(); ++i) {
+    switch (descs_[i].kind) {
+      case SigKind::kFetchPc: sig_.fetch_pc = i; break;
+      case SigKind::kRfX:
+        if (!have_rfx) { sig_.rfx = i; have_rfx = true; }
+        break;
+      case SigKind::kMapTable:
+        if (!have_map) { sig_.maptable = i; have_map = true; }
+        break;
+      case SigKind::kFreeCount: sig_.freecount = i; break;
+      case SigKind::kPrf:
+        if (!have_prf) { sig_.prf = i; have_prf = true; }
+        break;
+      case SigKind::kRobHead: sig_.rob_head = i; break;
+      case SigKind::kCommitValid: sig_.commit_valid = i; break;
+      case SigKind::kDcValid:
+        if (!have_dc) { sig_.dcache = i; have_dc = true; }
+        break;
+      case SigKind::kTlbValid:
+        if (!have_tlb) { sig_.tlb = i; have_tlb = true; }
+        break;
+      case SigKind::kExecResult: sig_.exec_result = i; break;
+      default: break;
+    }
+  }
+  sig_.dcache_set_stride = std::size_t{3} * cfg_.dcache_ways + 1;
+  sig_.tlb_signals = std::size_t{3} * cfg_.tlb_entries;
+
+  const std::size_t words = (descs_.size() + 63) / 64;
+  base_dirty_words_.assign(words, 0);
+  dirty_words_.assign(words, 0);
+  // Signals written (or cleared) unconditionally every cycle: the fetch
+  // PC, the ROB cursors, the commit pulse group, and the persistent
+  // exec/LSU buses. Everything else is event-driven.
+  const auto base = [this](std::size_t id) {
+    base_dirty_words_[id >> 6] |= std::uint64_t{1} << (id & 63);
+  };
+  base(sig_.fetch_pc);
+  base(sig_.rob_head);      // kRobHead
+  base(sig_.rob_head + 1);  // kRobTail
+  base(sig_.rob_head + 2);  // kRobCount
+  for (std::size_t k = 0; k < 4; ++k) base(sig_.commit_valid + k);
+  base(sig_.exec_result);      // kExecResult
+  base(sig_.exec_result + 1);  // kLsuAddr
+  base(sig_.exec_result + 2);  // kLsuLoadData
+  std::copy(base_dirty_words_.begin(), base_dirty_words_.end(),
+            dirty_words_.begin());
+}
+
+void Core::mark_dcache_set(std::uint64_t addr) {
+  // Any mapped access rotates the set's LRU even on a hit, and a miss
+  // fills/evicts a way — mark the whole set block (ways × valid/tag/data
+  // plus the LRU word). Unmapped accesses bypass the cache entirely;
+  // marking is still safe (unchanged values record no event).
+  const std::size_t set = static_cast<std::size_t>(
+      (addr / cfg_.dcache_line_bytes) % cfg_.dcache_sets);
+  const std::size_t from = sig_.dcache + set * sig_.dcache_set_stride;
+  for (std::size_t k = 0; k < sig_.dcache_set_stride; ++k) mark(from + k);
+}
+
+void Core::mark_tlb_all() {
+  for (std::size_t k = 0; k < sig_.tlb_signals; ++k) mark(sig_.tlb + k);
+}
+
+void Core::fast_allocate_rd(RobEntry& e) {
+  allocate_rd(e);
+  if (e.writes_rd) {
+    mark(sig_.maptable + e.dec.rd);
+    mark(sig_.freecount);
+    mark(sig_.rfx + e.dec.rd);  // arch rd now reads the new physical reg
+    // allocate() seeds prf[new_phys] with the old mapping's contents so
+    // the architectural view never exposes stale data — a PRF write.
+    mark(sig_.prf + e.new_phys);
+  }
+}
+
+void Core::fast_issue_alu(Core& c, RobEntry& e, std::uint64_t a,
+                          std::uint64_t b) {
+  c.fast_allocate_rd(e);
+  e.result = kAluTable[static_cast<std::size_t>(e.dec.op)](e.dec, a, b);
+  if (e.dec.op == Op::kAuipc) {
+    e.result = e.pc + static_cast<std::uint64_t>(e.dec.imm);
+  }
+  e.result_tainted = false;  // no speculation window in the prefix
+  unsigned latency = 1;
+  if (e.dec.op == Op::kMul || e.dec.op == Op::kMulh) latency = c.cfg_.mul_latency;
+  if (e.dec.op == Op::kDiv || e.dec.op == Op::kDivu ||
+      e.dec.op == Op::kRem || e.dec.op == Op::kRemu) {
+    latency = c.cfg_.div_latency;
+  }
+  e.ready_cycle = c.cycle_ + latency;
+  c.exec_result_ = e.result;
+  c.fetch_pc_ += 4;
+}
+
+void Core::fx_alu_rr(Core& c, RobEntry& e, std::uint64_t v1, std::uint64_t v2,
+                     RunResult&) {
+  fast_issue_alu(c, e, v1, v2);
+}
+
+void Core::fx_alu_ri(Core& c, RobEntry& e, std::uint64_t v1, std::uint64_t,
+                     RunResult&) {
+  fast_issue_alu(c, e, v1, static_cast<std::uint64_t>(e.dec.imm));
+}
+
+void Core::fx_load(Core& c, RobEntry& e, std::uint64_t v1, std::uint64_t,
+                   RunResult& res) {
+  c.fast_allocate_rd(e);
+  const std::uint64_t va = v1 + static_cast<std::uint64_t>(e.dec.imm);
+  std::uint64_t pa = va;
+  const bool tlb_hit = c.tlb_.translate(va, pa);
+  res.coverage.branch("tlb.hit", tlb_hit);
+  if (!tlb_hit) c.mark_tlb_all();  // miss fills the round-robin victim
+  c.lsu_addr_ = pa;
+  e.mem_addr = pa;
+  e.mem_size = riscv::access_size(e.dec.op);
+  std::uint64_t raw = 0;
+  const bool hit = c.dcache_.load(pa, e.mem_size, raw);
+  res.coverage.branch("dcache.hit", hit);
+  res.coverage.fsm("dcache.state", hit ? 0 : 1);
+  c.mark_dcache_set(pa);
+  c.lsu_load_data_ = raw;
+  e.result = extend_load(e.dec.op, raw);
+  e.result_tainted = false;  // in_window is provably false in the prefix
+  e.ready_cycle =
+      c.cycle_ + (hit ? c.cfg_.load_hit_latency : c.cfg_.load_miss_latency);
+  c.fetch_pc_ += 4;
+}
+
+void Core::fx_store(Core& c, RobEntry& e, std::uint64_t v1, std::uint64_t v2,
+                    RunResult& res) {
+  const std::uint64_t va = v1 + static_cast<std::uint64_t>(e.dec.imm);
+  std::uint64_t pa = va;
+  const bool tlb_hit = c.tlb_.translate(va, pa);
+  res.coverage.branch("tlb.hit", tlb_hit);
+  if (!tlb_hit) c.mark_tlb_all();
+  c.lsu_addr_ = pa;
+  e.is_store = true;
+  e.mem_addr = pa;
+  e.mem_size = riscv::access_size(e.dec.op);
+  e.store_value = v2;
+  e.ready_cycle = c.cycle_ + 1;  // memory effect deferred to commit
+  c.fetch_pc_ += 4;
+}
+
+const Core::FastIssueFn* Core::fast_dispatch() {
+  static const std::array<FastIssueFn, kOpCount> table = [] {
+    std::array<FastIssueFn, kOpCount> t{};
+    for (std::size_t i = 0; i < kOpCount; ++i) {
+      const Op op = static_cast<Op>(i);
+      if (!fast_tier_supported(op)) continue;  // structurally unreachable
+      switch (riscv::format_of(op)) {
+        case riscv::Format::kR:
+        case riscv::Format::kU:
+          t[i] = &fx_alu_rr;
+          break;
+        case riscv::Format::kI:
+          t[i] = riscv::is_load(op) ? &fx_load : &fx_alu_ri;
+          break;
+        case riscv::Format::kS:
+          t[i] = &fx_store;
+          break;
+        default:
+          break;  // kIllegal takes the trap path before dispatch
+      }
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+void Core::fast_issue(RunResult& res) {
+  if (halted_ || rob_full() || fetch_stalled_) return;
+  const std::uint32_t word = fetch_word(fetch_pc_);
+  const DecodedInst& dec = decode_at(fetch_pc_, word);
+  res.coverage.branch("decode.valid", dec.valid());
+
+  if (!dec.valid()) {
+    // Illegal instruction (or the fall-off-end fetch of word 0): the
+    // same trap model as the detailed issue stage.
+    RobEntry& e = alloc_entry(dec);
+    e.ready_cycle = cycle_ + 1;
+    e.is_halt = true;
+    fetch_stalled_ = true;
+    return;
+  }
+
+  // No serializing ops reach here: CSR/FENCE/ECALL/EBREAK are handoff
+  // triggers, clamped out of the prefix.
+  const PhysReg p1 = rename_.map(dec.rs1);
+  const PhysReg p2 = rename_.map(dec.rs2);
+  if ((uses_rs1(dec) && !prf_ready_[p1]) ||
+      (uses_rs2(dec) && !prf_ready_[p2])) {
+    return;  // RAW stall
+  }
+  const std::uint64_t v1 = dec.rs1 == 0 ? 0 : rename_.prf(p1);
+  const std::uint64_t v2 = dec.rs2 == 0 ? 0 : rename_.prf(p2);
+
+  if (riscv::is_load(dec.op) &&
+      store_overlap(v1 + static_cast<std::uint64_t>(dec.imm),
+                    riscv::access_size(dec.op))) {
+    return;  // store-to-load hazard stall
+  }
+
+  RobEntry& e = alloc_entry(dec);
+  fast_dispatch()[static_cast<std::size_t>(dec.op)](*this, e, v1, v2, res);
+}
+
+void Core::fast_execute() {
+  // In-order allocation with no squashes: ring order from the head is
+  // ascending seq order, so this scan IS the detailed stage's sorted
+  // oldest-first walk, minus the control/squash cases that cannot occur.
+  unsigned slot = rob_head_;
+  for (unsigned n = 0; n < rob_count_; ++n, slot = rob_next(slot)) {
+    RobEntry& e = rob_[slot];
+    if (e.done || cycle_ < e.ready_cycle) continue;
+    if (e.writes_rd && e.dec.rd != 0) {
+      rename_.prf_write(e.new_phys, e.result);
+      prf_ready_[e.new_phys] = true;
+      prf_taint_[e.new_phys] = false;
+      exec_result_ = e.result;
+      mark(sig_.prf + e.new_phys);
+      mark(sig_.rfx + e.dec.rd);
+    }
+    e.done = true;
+  }
+}
+
+void Core::fast_commit(RobEntry& e, RunResult& res) {
+  CommitRecord rec;
+  rec.cycle = cycle_;
+  rec.pc = e.pc;
+  rec.inst = e.dec.raw;
+  if (e.writes_rd && e.dec.rd != 0) {
+    rename_.commit_free(e.old_phys);
+    rec.writes_rd = true;
+    rec.rd = e.dec.rd;
+    mark(sig_.freecount);
+  }
+  if (e.is_store) {
+    dcache_.store(e.mem_addr, e.mem_size, e.store_value);
+    rec.is_store = true;
+    rec.store_addr = e.mem_addr;
+    res.coverage.branch("lsu.store_mapped",
+                        mem_.data_mapped(e.mem_addr, e.mem_size));
+    mark_dcache_set(e.mem_addr);
+  }
+  // writes_csr is impossible in the prefix (CSR ops are handoff triggers).
+  if (e.is_halt) halted_ = true;
+  commit_valid_ = true;
+  commit_pc_ = e.pc;
+  commit_inst_ = e.dec.raw;
+  commit_rd_ = e.writes_rd ? e.dec.rd : 0;
+  ++res.instructions_committed;
+  res.commits.push_back(rec);
+}
+
+void Core::fast_retire(RunResult& res) {
+  for (unsigned n = 0; n < cfg_.retire_width; ++n) {
+    if (rob_count_ == 0) return;
+    RobEntry& head = rob_[rob_head_];
+    if (!head.done) return;  // head is always valid, never ctrl/squashed
+    fast_commit(head, res);
+    if (halted_) return;  // halt commit leaves the head entry in place
+    head.valid = false;
+    rob_head_ = rob_next(rob_head_);
+    --rob_count_;
+  }
+}
+
+void Core::fast_capture(RunResult& res) {
+  const bool first = res.trace.empty();
+  res.trace.begin_cycle(cycle_);
+  if (first) {
+    // The first captured cycle seeds the trace's live-value array with a
+    // full sweep (toggles are not counted on the first cycle, matching
+    // the detailed capture); the dirty-set path takes over afterwards.
+    for (std::size_t i = 0; i < descs_.size(); ++i) {
+      res.trace.record(static_cast<snapshot::SignalId>(i),
+                       value_of(descs_[i], nullptr));
+    }
+    std::copy(base_dirty_words_.begin(), base_dirty_words_.end(),
+              dirty_words_.begin());
+    return;
+  }
+  std::uint64_t toggles = 0;
+  for (std::size_t w = 0; w < dirty_words_.size(); ++w) {
+    std::uint64_t bits = dirty_words_[w];
+    while (bits != 0) {
+      const std::size_t id = w * 64 +
+          static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      toggles += res.trace.record(static_cast<snapshot::SignalId>(id),
+                                  value_of(descs_[id], nullptr));
+    }
+  }
+  res.coverage.toggles(toggles);
+  std::copy(base_dirty_words_.begin(), base_dirty_words_.end(),
+            dirty_words_.begin());
+}
+
+Core::FastExit Core::fast_loop(std::uint64_t handoff_pc, RunResult& res) {
+  fast_init();
+  while (!halted_ && cycle_ < cfg_.max_cycles) {
+    // The boundary is the end of the previous cycle: stop when the NEXT
+    // fetch would touch the handoff instruction. In-flight ROB entries
+    // are fine — the detailed loop continues them identically. The
+    // straight-line prefix walks the PC in exact +4 steps, so equality
+    // cannot be stepped over (handoff_pc 0 = no handoff: the whole run,
+    // including the end-of-program trap, stays in this loop).
+    if (fetch_pc_ == handoff_pc) return FastExit::kHandoff;
+    ++cycle_;
+    begin_cycle();
+    fast_retire(res);
+    fast_execute();
+    fast_issue(res);
+    csr_.tick();
+    fast_capture(res);
+    if (rob_count_ == 0 && fetch_done()) break;
+  }
+  return FastExit::kDone;
+}
+
+}  // namespace detail
+}  // namespace specure::sim

@@ -1,0 +1,81 @@
+// Fast-functional prefix tier: the public surface shared by the
+// simulator, the fuzz layer and the campaign worker.
+//
+// The fast tier executes the architecturally boring prefix of a program —
+// straight-line ALU/load/store code in which speculation provably cannot
+// arm — on the same core state as the detailed model, but with a
+// function-pointer dispatch kernel and change-driven snapshot capture
+// instead of the full ~300-signal sweep per cycle. It hands off to the
+// detailed pipeline at the first instruction that could arm speculation
+// (the handoff point), so the detailed run from the boundary onward — and
+// therefore the trace, coverage, commit log and findings — is bit-identical
+// to a cold detailed run of the whole program.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "riscv/decode.hpp"
+#include "riscv/isa.hpp"
+
+namespace specure::sim {
+
+/// Ops the fast tier can execute bit-identically to the detailed core.
+/// Everything excluded here either arms speculation (branches, JALR),
+/// redirects or trains the predictor (JAL pushes the RAS), or serializes
+/// with side effects the prefix must not reach (CSR ops can arm the
+/// (M)WAIT monitor, FENCE/ECALL/EBREAK serialize). kIllegal stays
+/// supported: it is the trap-halt path, identical in both tiers.
+constexpr bool fast_tier_supported(riscv::Op op) {
+  return !(riscv::is_control_flow(op) || riscv::is_csr(op) ||
+           op == riscv::Op::kFence || op == riscv::Op::kEcall ||
+           op == riscv::Op::kEbreak);
+}
+
+/// Index of the first instruction the fast tier must not execute: the
+/// first op that can arm speculation (plus loads when `loads_arm`, i.e.
+/// the active detector monitors the data cache). Returns `insts.size()`
+/// when the whole program is fast-executable (the run completes entirely
+/// in the fast tier).
+inline std::size_t fast_handoff_scan(
+    const std::vector<riscv::DecodedInst>& insts, bool loads_arm) {
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    if (!fast_tier_supported(insts[i].op)) return i;
+    if (loads_arm && riscv::is_load(insts[i].op)) return i;
+  }
+  return insts.size();
+}
+
+/// Per-simulator fast-tier telemetry, aggregated per worker into
+/// PipelineStats and the bench JSON.
+struct TierStats {
+  std::uint64_t fast_runs = 0;    ///< runs that entered the fast tier
+  std::uint64_t fast_cycles = 0;  ///< cycles executed by the fast tier
+  std::uint64_t handoffs = 0;     ///< boundary handoffs to the detailed core
+  std::uint64_t fast_completions = 0;  ///< runs that never left the fast tier
+  std::uint64_t fallbacks = 0;  ///< handoff at index 0 → pure detailed run
+};
+
+/// What Simulator::run_fast_prefix did (test / introspection surface).
+enum class FastPrefixOutcome {
+  kNone,      ///< handoff at index 0: nothing executed, no boundary state
+  kHandoff,   ///< stopped at the handoff boundary; checkpoint materialized
+  kCompleted  ///< the whole run finished inside the fast tier
+};
+
+/// The fast tier's ALU dispatch kernel: one small function per opcode
+/// instead of the detailed model's switch. Exposed for bench_micro.
+using FastAluFn = std::uint64_t (*)(const riscv::DecodedInst&, std::uint64_t,
+                                    std::uint64_t);
+
+/// Function-pointer table indexed by `static_cast<size_t>(Op)`; entries
+/// for non-ALU ops evaluate to 0 (never dispatched by the fast tier).
+const FastAluFn* fast_alu_table();
+
+/// The detailed model's switch-based ALU evaluator (reference kernel for
+/// the bench_micro dispatch comparison).
+std::uint64_t fast_alu_reference(const riscv::DecodedInst& d, std::uint64_t a,
+                                 std::uint64_t b);
+
+}  // namespace specure::sim

@@ -74,13 +74,42 @@ bool taken(Op op, std::uint64_t a, std::uint64_t b) {
 IssResult Iss::run(const riscv::Program& program,
                    std::uint64_t max_instructions) {
   IssResult res;
+  run(program, res, max_instructions);
+  return res;
+}
+
+void Iss::run(const riscv::Program& program, IssResult& out,
+              std::uint64_t max_instructions) {
+  decode_.build(program.code);
+  run(program, decode_, out, max_instructions);
+}
+
+void Iss::run(const riscv::Program& program, const riscv::DecodedProgram& dec,
+              IssResult& out, std::uint64_t max_instructions) {
+  IssResult& res = out;
+  res.regs.fill(0);
+  res.pc = 0;
+  res.instructions = 0;
+  res.halted_clean = false;
   mem_.load(program);
+  csr_.reset();
   std::uint64_t pc = riscv::kCodeBase;
   auto& x = res.regs;
 
+  // In-image aligned fetches read the predecoded array by index;
+  // everything else (misaligned, off-image) fetches word 0 and decodes
+  // to the illegal/trap path — exactly the per-instruction decode(w)
+  // behavior this cache replaces.
+  const auto decode_at = [&](std::uint64_t at) -> DecodedInst {
+    if (at >= riscv::kCodeBase && (at & 3) == 0) {
+      const std::uint64_t index = (at - riscv::kCodeBase) / 4;
+      if (index < dec.insts.size()) return dec.insts[index];
+    }
+    return riscv::decode(mem_.fetch(at));
+  };
+
   while (res.instructions < max_instructions) {
-    const std::uint32_t word = mem_.fetch(pc);
-    const DecodedInst d = riscv::decode(word);
+    const DecodedInst d = decode_at(pc);
     ++res.instructions;
     if (!d.valid()) {  // illegal or fall-off: trap model halts the core
       res.halted_clean = true;
@@ -166,7 +195,7 @@ IssResult Iss::run(const riscv::Program& program,
           res.halted_clean = true;
           res.pc = pc;
           if (write_rd && d.rd != 0) x[d.rd] = rd_val;
-          return res;
+          return;
         }
         break;
     }
@@ -174,7 +203,6 @@ IssResult Iss::run(const riscv::Program& program,
     pc = next;
   }
   res.pc = pc;
-  return res;
 }
 
 }  // namespace specure::sim

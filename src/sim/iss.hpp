@@ -32,9 +32,23 @@ class Iss {
  public:
   explicit Iss(const CoreConfig& cfg) : cfg_(cfg), csr_(cfg) {}
 
-  /// Execute sequentially for at most `max_instructions`.
+  /// Execute sequentially for at most `max_instructions`. Every run
+  /// starts from power-on state (memory reloaded, CSRs reset), so one
+  /// Iss can be reused across programs.
   IssResult run(const riscv::Program& program,
                 std::uint64_t max_instructions = 100000);
+
+  /// Buffer-reusing overload (mirrors Simulator::run(p, RunResult&)):
+  /// `out` is reset and refilled; the program is decoded once into an
+  /// internal DecodedInst array instead of once per executed instruction.
+  void run(const riscv::Program& program, IssResult& out,
+           std::uint64_t max_instructions = 100000);
+
+  /// Same, executing over a caller-provided decode of `program` (e.g.
+  /// Simulator::decode's buffer), so differential harnesses decode each
+  /// program exactly once across both executors.
+  void run(const riscv::Program& program, const riscv::DecodedProgram& dec,
+           IssResult& out, std::uint64_t max_instructions = 100000);
 
   const CsrFile& csr() const { return csr_; }
   const Memory& memory() const { return mem_; }
@@ -43,6 +57,7 @@ class Iss {
   CoreConfig cfg_;
   Memory mem_;
   CsrFile csr_;
+  riscv::DecodedProgram decode_;  ///< per-run decode cache (reused buffer)
 };
 
 }  // namespace specure::sim

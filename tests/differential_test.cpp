@@ -35,13 +35,17 @@ class RandomProgramEquivalence : public ::testing::TestWithParam<int> {};
 TEST_P(RandomProgramEquivalence, CommittedStateMatchesReference) {
   util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
   Simulator simulator{CoreConfig{}};
+  // One Iss and one IssResult for the whole loop: every run resets to
+  // power-on state, and the buffer-reusing overload decodes each program
+  // once into the Iss's internal DecodedInst array.
+  Iss iss{CoreConfig{}};
+  IssResult ref;
   int compared = 0;
   for (int trial = 0; trial < 10; ++trial) {
     const Program p = riscv::random_program(rng, 20 + rng.below(100));
     const RunResult run = simulator.run(p);
     if (!run.halted_clean) continue;  // hit max_cycles: partial execution
-    Iss iss{CoreConfig{}};
-    const IssResult ref = iss.run(p);
+    iss.run(p, ref);
     if (!ref.halted_clean) continue;
     const auto pipeline_regs = final_regs(run, simulator.signal_db());
     for (unsigned r = 1; r < 32; ++r) {
@@ -149,13 +153,14 @@ TEST(Differential, MemoryStateMatchesReference) {
   // cleanly-halting random program.
   util::Rng rng(2025);
   Simulator simulator{CoreConfig{}};
+  Iss iss{CoreConfig{}};  // reused across trials (power-on reset per run)
+  IssResult ref;
   int compared = 0;
   for (int trial = 0; trial < 20; ++trial) {
     const Program p = riscv::random_program(rng, 60);
     const RunResult run = simulator.run(p);
     if (!run.halted_clean) continue;
-    Iss iss{CoreConfig{}};
-    const IssResult ref = iss.run(p);
+    iss.run(p, ref);
     if (!ref.halted_clean) continue;
     ASSERT_EQ(run.final_data, iss.memory().data_image()) << "trial " << trial;
     ++compared;

@@ -1,0 +1,349 @@
+// Tiered-execution differential suite: the fast-functional prefix tier
+// plus detailed continuation must be *bit-identical* to a cold detailed
+// run — same delta trace event stream, commit log, coverage points and
+// toggle counts, cycle count, end state. Also covers the handoff edge
+// cases (index 0, index past the program end, trap inside the prefix),
+// the run_fast_prefix boundary checkpoint, checkpointed tiered runs, and
+// the dense-trace fallback.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/seeds.hpp"
+#include "riscv/encode.hpp"
+#include "riscv/program.hpp"
+#include "sim/core.hpp"
+#include "sim/fast_tier.hpp"
+#include "util/rng.hpp"
+
+namespace specure {
+namespace {
+
+using riscv::Op;
+using riscv::Program;
+
+// ------------------------------------------------------------ helpers ----
+
+void expect_trace_identical(const snapshot::Trace& a,
+                            const snapshot::Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.event_count(), b.event_count());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a.cycle_at(t), b.cycle_at(t)) << "tick " << t;
+    ASSERT_EQ(a.tick_begin(t), b.tick_begin(t)) << "tick " << t;
+    ASSERT_EQ(a.tick_end(t), b.tick_end(t)) << "tick " << t;
+    for (std::size_t e = a.tick_begin(t); e < a.tick_end(t); ++e) {
+      ASSERT_EQ(a.event_id(e), b.event_id(e)) << "tick " << t;
+      ASSERT_EQ(a.event_value(e), b.event_value(e))
+          << "tick " << t << " id " << a.event_id(e);
+    }
+  }
+  if (!a.empty()) {
+    EXPECT_EQ(a[a.size() - 1].values, b[b.size() - 1].values);
+  }
+}
+
+void expect_run_identical(const sim::RunResult& a, const sim::RunResult& b) {
+  expect_trace_identical(a.trace, b.trace);
+  ASSERT_EQ(a.commits.size(), b.commits.size());
+  for (std::size_t i = 0; i < a.commits.size(); ++i) {
+    EXPECT_EQ(a.commits[i].cycle, b.commits[i].cycle) << "commit " << i;
+    EXPECT_EQ(a.commits[i].pc, b.commits[i].pc) << "commit " << i;
+    EXPECT_EQ(a.commits[i].inst, b.commits[i].inst) << "commit " << i;
+    EXPECT_EQ(a.commits[i].writes_rd, b.commits[i].writes_rd);
+    EXPECT_EQ(a.commits[i].rd, b.commits[i].rd);
+    EXPECT_EQ(a.commits[i].writes_csr, b.commits[i].writes_csr);
+    EXPECT_EQ(a.commits[i].csr, b.commits[i].csr);
+    EXPECT_EQ(a.commits[i].is_store, b.commits[i].is_store);
+    EXPECT_EQ(a.commits[i].store_addr, b.commits[i].store_addr);
+  }
+  EXPECT_EQ(a.coverage.points(), b.coverage.points());
+  EXPECT_EQ(a.coverage.toggle_bits(), b.coverage.toggle_bits());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions_committed, b.instructions_committed);
+  EXPECT_EQ(a.halted_clean, b.halted_clean);
+  EXPECT_EQ(a.final_data, b.final_data);
+}
+
+const sim::Simulator& shared_sim() {
+  static sim::Simulator sim{sim::CoreConfig{}};
+  return sim;
+}
+
+/// Run both tiers and assert bit-identity; returns the tiered result's
+/// stats delta for callers that assert on telemetry.
+sim::TierStats expect_tiered_identical(const sim::Simulator& sim,
+                                       const Program& program,
+                                       bool loads_arm) {
+  sim::RunResult detailed = sim.run(program);
+  sim::RunResult tiered(&sim.signal_db());
+  const riscv::DecodedProgram& dec = sim.decode(program);
+  const std::size_t handoff = fuzz::handoff_index(dec, loads_arm);
+  sim::TierStats stats;
+  sim.run_tiered(program, handoff, tiered, &stats, &dec);
+  expect_run_identical(detailed, tiered);
+  return stats;
+}
+
+/// Corpus-shaped programs: seeds then mutation products, like a campaign.
+std::vector<Program> sample_programs(std::size_t count, std::uint64_t seed) {
+  fuzz::FuzzerOptions options;
+  fuzz::Fuzzer fuzzer(options, seed);
+  std::vector<Program> out;
+  for (std::size_t i = 0; i < count; ++i) out.push_back(fuzzer.next());
+  return out;
+}
+
+/// `n` straight-line ALU/load/store instructions, then a branch window —
+/// the workload shape the fast tier exists for.
+Program long_prefix_gadget(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  riscv::ProgramBuilder b;
+  b.li(10, static_cast<std::int64_t>(riscv::kDataBase));
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.below(5)) {
+      case 0: b.addi(11, 11, static_cast<std::int64_t>(rng.below(64))); break;
+      case 1: b.xor_(12, 11, 12); break;
+      case 2: b.lw(13, 10, static_cast<std::int64_t>(8 * rng.below(16))); break;
+      case 3: b.sw(13, 10, static_cast<std::int64_t>(8 * rng.below(16))); break;
+      default: b.add(14, 13, 11); break;
+    }
+  }
+  b.branch(Op::kBne, 11, 12, "past");
+  b.addi(15, 15, 1);
+  b.label("past");
+  b.ecall();
+  std::vector<std::uint8_t> data(256);
+  for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.below(256));
+  return b.with_data(std::move(data)).build();
+}
+
+// --------------------------------------------- handoff-scan semantics ----
+
+TEST(HandoffScan, StopsAtFirstArmingInstruction) {
+  auto dec_of = [](std::vector<std::uint32_t> code) {
+    riscv::DecodedProgram dec;
+    dec.build(code);
+    return dec;
+  };
+  const std::uint32_t nop = riscv::enc_nop();
+  // Each trigger op must stop the scan at its own index.
+  const std::vector<std::uint32_t> triggers = {
+      riscv::enc_b(Op::kBeq, 0, 0, 8),
+      riscv::enc_j(0, 8),
+      riscv::enc_i(Op::kJalr, 0, 1, 0),
+      riscv::enc_csr(Op::kCsrrs, 5, 0, 0x301),
+      riscv::enc_ecall(),
+  };
+  for (const std::uint32_t word : triggers) {
+    const auto dec = dec_of({nop, nop, word, nop});
+    EXPECT_EQ(fuzz::handoff_index(dec, false), 2u);
+  }
+  // Loads arm only under the cache-monitoring policy.
+  const std::uint32_t load = riscv::enc_i(Op::kLw, 5, 10, 0);
+  const auto with_load = dec_of({nop, load, nop});
+  EXPECT_EQ(fuzz::handoff_index(with_load, false), 3u);
+  EXPECT_EQ(fuzz::handoff_index(with_load, true), 1u);
+  // Illegal words are fast-executable (the trap-halt path), and a fully
+  // straight-line program hands off past its end.
+  const auto with_illegal = dec_of({nop, 0u, nop});
+  EXPECT_EQ(fuzz::handoff_index(with_illegal, false), 3u);
+}
+
+// ----------------------------------------------- tiered == detailed ----
+
+TEST(TieredDifferential, FuzzCorpusBitIdentical) {
+  const sim::Simulator& sim = shared_sim();
+  sim::TierStats total;
+  for (const auto& program : sample_programs(24, 7)) {
+    const sim::TierStats s = expect_tiered_identical(sim, program, false);
+    total.fast_runs += s.fast_runs;
+    total.fallbacks += s.fallbacks;
+  }
+  // The corpus must actually exercise both paths for this suite to mean
+  // anything.
+  EXPECT_GT(total.fast_runs + total.fallbacks, 0u);
+}
+
+TEST(TieredDifferential, SeedProgramsBitIdentical) {
+  const sim::Simulator& sim = shared_sim();
+  util::Rng rng(9);
+  expect_tiered_identical(sim, fuzz::make_branch_mispredict_seed(rng).program,
+                          false);
+  expect_tiered_identical(sim, fuzz::make_bti_seed(rng).program, false);
+  for (int i = 0; i < 4; ++i) {
+    expect_tiered_identical(sim, riscv::random_program(rng, 48 + 24 * i),
+                            false);
+  }
+}
+
+TEST(TieredDifferential, LoadsArmPolicyStillBitIdentical) {
+  // An earlier (more conservative) handoff must not change the result —
+  // only how much of the prefix the fast tier gets to run.
+  const sim::Simulator& sim = shared_sim();
+  for (const auto& program : sample_programs(12, 21)) {
+    expect_tiered_identical(sim, program, true);
+  }
+  expect_tiered_identical(sim, long_prefix_gadget(96, 3), true);
+}
+
+TEST(TieredDifferential, LongPrefixGadgetHandsOff) {
+  const sim::TierStats stats =
+      expect_tiered_identical(shared_sim(), long_prefix_gadget(128, 5), false);
+  EXPECT_EQ(stats.fast_runs, 1u);
+  EXPECT_EQ(stats.handoffs, 1u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_GT(stats.fast_cycles, 64u);
+}
+
+// ------------------------------------------------------- edge cases ----
+
+TEST(TieredDifferential, HandoffAtZeroIsPureDetailedRun) {
+  // First instruction is a branch: nothing for the fast tier to do.
+  riscv::ProgramBuilder b;
+  b.branch(Op::kBeq, 0, 0, "out");
+  b.addi(5, 5, 1);
+  b.label("out");
+  b.ecall();
+  const Program program = b.build();
+  const sim::TierStats stats =
+      expect_tiered_identical(shared_sim(), program, false);
+  EXPECT_EQ(stats.fast_runs, 0u);
+  EXPECT_EQ(stats.fast_cycles, 0u);
+  EXPECT_EQ(stats.fallbacks, 1u);
+}
+
+TEST(TieredDifferential, HandoffPastEndCompletesInFastTier) {
+  // Straight-line program with no arming instruction at all: it falls off
+  // the end (off-image fetch -> decode-invalid trap) and the entire run,
+  // including that trap halt, stays in the fast tier.
+  riscv::ProgramBuilder b;
+  b.li(10, static_cast<std::int64_t>(riscv::kDataBase));
+  for (int i = 0; i < 24; ++i) b.addi(11, 11, 3);
+  b.sd(11, 10, 0);
+  const Program program = b.build();
+  const riscv::DecodedProgram& dec = shared_sim().decode(program);
+  ASSERT_EQ(fuzz::handoff_index(dec, false), program.code.size());
+  const sim::TierStats stats =
+      expect_tiered_identical(shared_sim(), program, false);
+  EXPECT_EQ(stats.fast_runs, 1u);
+  EXPECT_EQ(stats.fast_completions, 1u);
+  EXPECT_EQ(stats.handoffs, 0u);
+}
+
+TEST(TieredDifferential, IllegalWordInsidePrefixTrapsIdentically) {
+  riscv::ProgramBuilder b;
+  for (int i = 0; i < 8; ++i) b.addi(11, 11, 1);
+  b.raw(0);  // illegal: decode-invalid trap inside the prefix
+  b.addi(12, 12, 1);
+  const sim::TierStats stats =
+      expect_tiered_identical(shared_sim(), b.build(), false);
+  EXPECT_EQ(stats.fast_completions, 1u);
+}
+
+TEST(TieredDifferential, HandoffIndexIsDefensivelyClamped) {
+  // A caller passing a too-late handoff (e.g. a stale scan) must not let
+  // the fast tier run a branch: the simulator re-clamps to the static
+  // scan of the program it was actually given.
+  const Program program = long_prefix_gadget(32, 11);
+  const sim::Simulator& sim = shared_sim();
+  sim::RunResult detailed = sim.run(program);
+  sim::RunResult tiered(&sim.signal_db());
+  sim.run_tiered(program, program.code.size() + 64, tiered);
+  expect_run_identical(detailed, tiered);
+}
+
+// ------------------------------------- boundary checkpoint & resume ----
+
+TEST(TieredDifferential, FastPrefixBoundaryResumesLikeAnyCheckpoint) {
+  const Program program = long_prefix_gadget(64, 13);
+  const sim::Simulator& sim = shared_sim();
+  sim::RunResult prefix(&sim.signal_db());
+  sim::Checkpoint boundary;
+  const sim::FastPrefixOutcome outcome =
+      sim.run_fast_prefix(program, fuzz::handoff_index(sim.decode(program), false),
+                          prefix, boundary);
+  ASSERT_EQ(outcome, sim::FastPrefixOutcome::kHandoff);
+  EXPECT_EQ(boundary.cycle, prefix.cycles);
+  EXPECT_EQ(boundary.commit_count, prefix.commits.size());
+
+  sim::RunResult resumed(&sim.signal_db());
+  sim.run_from(boundary, prefix.trace, prefix.commits, program, resumed);
+  expect_run_identical(sim.run(program), resumed);
+}
+
+TEST(TieredDifferential, FastPrefixAtZeroReportsNone) {
+  riscv::ProgramBuilder b;
+  b.branch(Op::kBeq, 0, 0, "out");
+  b.label("out");
+  b.ecall();
+  const sim::Simulator& sim = shared_sim();
+  sim::RunResult prefix(&sim.signal_db());
+  sim::Checkpoint boundary;
+  EXPECT_EQ(sim.run_fast_prefix(b.build(), 0, prefix, boundary),
+            sim::FastPrefixOutcome::kNone);
+}
+
+// ------------------------------------------------ checkpointed runs ----
+
+TEST(TieredDifferential, CheckpointedTieredBitIdenticalAndPostHandoffOnly) {
+  const sim::Simulator& sim = shared_sim();
+  sim::CheckpointOptions options;
+  options.interval = 16;
+  for (const auto& program : sample_programs(8, 33)) {
+    sim::RunResult detailed(&sim.signal_db());
+    std::vector<sim::Checkpoint> detailed_cps;
+    sim.run(program, options, detailed_cps, detailed);
+
+    sim::RunResult tiered(&sim.signal_db());
+    std::vector<sim::Checkpoint> tiered_cps;
+    const riscv::DecodedProgram& dec = sim.decode(program);
+    const std::size_t handoff = fuzz::handoff_index(dec, false);
+    sim::TierStats stats;
+    sim.run_tiered(program, handoff, options, tiered_cps, tiered, &stats,
+                   &dec);
+    expect_run_identical(detailed, tiered);
+
+    // No prefix checkpoints: the fast tier substitutes for shallow
+    // resumes, so every emitted checkpoint lies at/past the boundary.
+    const std::uint64_t boundary_cycles = stats.fast_cycles;
+    for (const auto& cp : tiered_cps) {
+      EXPECT_GE(cp.cycle, boundary_cycles);
+    }
+    // Any emitted checkpoint must remain a valid resume point.
+    if (!tiered_cps.empty()) {
+      const sim::Checkpoint& cp = tiered_cps.back();
+      sim::RunResult resumed(&sim.signal_db());
+      sim.run_from(cp, tiered.trace, tiered.commits, program, resumed);
+      expect_run_identical(detailed, resumed);
+    }
+  }
+}
+
+// ---------------------------------------------- dense-trace fallback ----
+
+TEST(TieredDifferential, DenseTraceFallsBackToDetailed) {
+  sim::CoreConfig cfg;
+  cfg.record_dense_trace = true;
+  const sim::Simulator sim(cfg);
+  const Program program = long_prefix_gadget(32, 17);
+  sim::RunResult tiered(&sim.signal_db());
+  sim::TierStats stats;
+  sim.run_tiered(program, fuzz::handoff_index(sim.decode(program), false),
+                 tiered, &stats);
+  EXPECT_EQ(stats.fallbacks, 1u);
+  EXPECT_EQ(stats.fast_runs, 0u);
+  ASSERT_NE(tiered.dense_trace, nullptr);
+  expect_run_identical(sim.run(program), tiered);
+
+  sim::CheckpointOptions options;
+  std::vector<sim::Checkpoint> cps;
+  sim::RunResult out(&sim.signal_db());
+  EXPECT_THROW(sim.run_tiered(program, 4, options, cps, out),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace specure

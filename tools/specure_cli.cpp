@@ -232,9 +232,13 @@ int report_and_exit_code(const core::CampaignResult& result,
                 stats.result_wait_seconds, stats.vcd_seconds);
     for (std::size_t w = 0; w < stats.workers.size(); ++w) {
       const core::PipelineWorkerStats& ws = stats.workers[w];
-      std::printf("  worker %zu: %llu jobs  execute %.3fs  queue-wait %.3fs\n",
+      std::printf("  worker %zu: %llu jobs  execute %.3fs  queue-wait %.3fs"
+                  "  fast-cycles %llu  handoffs %llu  tier-fallbacks %llu\n",
                   w, static_cast<unsigned long long>(ws.jobs),
-                  ws.execute_seconds, ws.queue_wait_seconds);
+                  ws.execute_seconds, ws.queue_wait_seconds,
+                  static_cast<unsigned long long>(ws.fast_cycles),
+                  static_cast<unsigned long long>(ws.handoffs),
+                  static_cast<unsigned long long>(ws.tier_fallbacks));
     }
   }
   if (const triage::TriageReport* triaged = session.triage_report()) {
