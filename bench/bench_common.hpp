@@ -131,6 +131,7 @@ inline core::CampaignResult run_spec(
 struct SpecRunStats {
   core::CampaignResult result;
   core::PipelineStats pipeline;
+  obs::Snapshot metrics;  ///< the session registry at campaign end
 };
 
 inline SpecRunStats run_spec_with_stats(
@@ -141,7 +142,29 @@ inline SpecRunStats run_spec_with_stats(
   SpecRunStats out;
   out.result = session.run();
   out.pipeline = session.pipeline_stats();
+  out.metrics = session.metrics_snapshot();
   return out;
+}
+
+/// Export a metrics-registry snapshot into the bench's JSON under
+/// `prefix`: every counter/gauge total, and count + p50/p99 per
+/// histogram — so BENCH_*.json carries the same registry the --stats
+/// footer and the serve metrics verb read, diffable across PRs.
+inline void export_registry(BenchJson& json, const obs::Snapshot& snap,
+                            const std::string& prefix = "obs/") {
+  for (const obs::CounterSnapshot& c : snap.counters) {
+    json.metric(prefix + c.name, static_cast<double>(c.total));
+  }
+  for (const obs::GaugeSnapshot& g : snap.gauges) {
+    json.metric(prefix + g.name, static_cast<double>(g.value));
+  }
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    json.metric(prefix + h.name + "/count", static_cast<double>(h.count));
+    if (h.count > 0) {
+      json.metric(prefix + h.name + "/p50", h.percentile(50));
+      json.metric(prefix + h.name + "/p99", h.percentile(99));
+    }
+  }
 }
 
 /// The paper reports wall-clock hours on a 32-core Xeon running RTL

@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
       spec.batch_size = kBatch;
       spec.budget.iterations = kIters;
       spec.checkpoint = checkpoint;
-      const auto [result, pipeline] = bench::run_spec_with_stats(spec);
+      const auto [result, pipeline, registry] =
+          bench::run_spec_with_stats(spec);
       const double ips =
           result.seconds > 0
               ? static_cast<double>(result.history.size()) / result.seconds
@@ -99,6 +100,11 @@ int main(int argc, char** argv) {
       }
       if (!checkpoint && jobs == 1) ips_jobs1_nockpt = ips;
       if (!checkpoint && jobs == 4) ips_jobs4_nockpt = ips;
+      // The full registry snapshot of the deepest row (jobs=8,
+      // checkpoint=on) rides along in the JSON.
+      if (checkpoint && jobs == 8) {
+        bench::export_registry(json, registry);
+      }
     }
   }
   json.metric("peak_rss_kib", static_cast<double>(peak_rss_kib()));

@@ -258,6 +258,10 @@ const std::vector<KeyDef>& key_table() {
              [](CampaignSpec& s, const std::string& v) {
                s.state_interval = parse_double("state_interval", v);
              }},
+      SPEC_BOOL("metrics", "campaign", metrics),
+      KeyDef{"trace_out", "campaign", true,
+             [](const CampaignSpec& s) { return s.trace_out; },
+             [](CampaignSpec& s, const std::string& v) { s.trace_out = v; }},
       // -- offline ---------------------------------------------------------
       SPEC_BOOL("pdlc_reverse", "offline", pdlc.reverse),
       SPEC_BOOL("pdlc_register_sources_only", "offline",

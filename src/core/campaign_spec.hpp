@@ -164,6 +164,21 @@ struct CampaignSpec {
   /// but every written state resumes to the same result, so the interval
   /// is wall-clock-only.
   double state_interval = 0;
+  /// Per-iteration metrics histograms (queue-wait / execute / merge /
+  /// iteration-latency percentiles in `--stats`, bench JSON and the
+  /// serve `metrics` verb). Stage counters are always maintained; this
+  /// key only gates the per-iteration histogram records. Pure wall-clock
+  /// telemetry — never affects the CampaignResult (pinned by the on/off
+  /// differential in obs_test).
+  bool metrics = true;
+  /// When non-empty: write a Chrome trace-event JSON of the most recent
+  /// run()'s pipeline spans (generate / queue-wait / execute with
+  /// fast-tier, detailed and checkpoint-resume sub-spans / result-wait /
+  /// merge / vcd-drain) to this path — loadable in Perfetto or
+  /// chrome://tracing. Ring-buffered: long campaigns keep the most
+  /// recent window of events at bounded memory. Empty = off.
+  /// Wall-clock-only: never affects the CampaignResult.
+  std::string trace_out;
   CampaignBudget budget;
 
   // ---- named scenario presets -------------------------------------------

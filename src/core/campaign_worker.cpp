@@ -1,6 +1,7 @@
 #include "core/campaign_worker.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "fuzz/mutator.hpp"
 #include "snapshot/snapshot.hpp"
@@ -80,8 +81,23 @@ CampaignWorker::CampaignWorker(const sim::CoreConfig& core,
       cache_(checkpoint.cache_bytes),
       scratch_(&sim_.signal_db()) {}
 
+void CampaignWorker::set_observability(const WorkerObservability& hooks) {
+  tracer_ = hooks.tracer;
+  lane_ = hooks.lane;
+  if (hooks.registry != nullptr) {
+    cache_hits_ = hooks.registry->counter("checkpoint/cache_hits");
+    cache_misses_ = hooks.registry->counter("checkpoint/cache_misses");
+  } else {
+    cache_hits_ = obs::Counter();
+    cache_misses_ = obs::Counter();
+  }
+}
+
 const sim::RunResult& CampaignWorker::simulate(const fuzz::FuzzJob& job) {
   pending_points_.clear();
+  last_resumed_ = false;
+  last_resume_cycle_ = 0;
+  last_handoff_ = 0;
   const bool fast_path =
       checkpoint_.enabled && !sim_.config().record_dense_trace;
   const bool tiered = tier_.fast && !sim_.config().record_dense_trace;
@@ -119,21 +135,51 @@ const sim::RunResult& CampaignWorker::simulate(const fuzz::FuzzJob& job) {
                                                  handoff))) {
         ++stats_.resumed;
         stats_.resumed_cycles += cp->cycle;
-        sim_.run_from(*cp, entry->trace, entry->commits, job.program,
-                      scratch_);
+        last_resumed_ = true;
+        last_resume_cycle_ = cp->cycle;
+        cache_hits_.add(lane_);
+        if (tracer_ != nullptr) {
+          const auto r0 = std::chrono::steady_clock::now();
+          sim_.run_from(*cp, entry->trace, entry->commits, job.program,
+                        scratch_);
+          tracer_->record(
+              lane_, "checkpoint_resume", "sim", r0,
+              std::chrono::steady_clock::now(), job.iteration,
+              {"resume_cycle", static_cast<std::int64_t>(cp->cycle)},
+              {"watermark",
+               static_cast<std::int64_t>(cp->fetch_watermark)});
+        } else {
+          sim_.run_from(*cp, entry->trace, entry->commits, job.program,
+                        scratch_);
+        }
         return scratch_;
       }
     }
   }
   ++stats_.cold;
+  cache_misses_.add(lane_);
+  last_handoff_ = handoff;
   if (tiered) {
     // `dec` (the handoff scan's decode) is still valid: no run happened
     // in between, so the simulator skips a second decode.
+    sim::TierPhaseTimes phases;
+    sim::TierPhaseTimes* p = tracer_ != nullptr ? &phases : nullptr;
     if (fast_path) {
       sim_.run_tiered(job.program, handoff, checkpoint_.cadence,
-                      pending_points_, scratch_, &tier_stats_, dec);
+                      pending_points_, scratch_, &tier_stats_, dec, p);
     } else {
-      sim_.run_tiered(job.program, handoff, scratch_, &tier_stats_, dec);
+      sim_.run_tiered(job.program, handoff, scratch_, &tier_stats_, dec, p);
+    }
+    if (tracer_ != nullptr && phases.entered_fast) {
+      last_handoff_ = phases.handoff_index;
+      tracer_->record(
+          lane_, "fast_tier", "sim", phases.fast_begin, phases.fast_end,
+          job.iteration,
+          {"handoff", static_cast<std::int64_t>(phases.handoff_index)});
+      if (phases.continued_detailed) {
+        tracer_->record(lane_, "detailed", "sim", phases.fast_end,
+                        phases.detailed_end, job.iteration);
+      }
     }
   } else if (fast_path) {
     // Emit checkpoints as a side effect (~1% of the run): if this
@@ -149,6 +195,8 @@ const sim::RunResult& CampaignWorker::simulate(const fuzz::FuzzJob& job) {
 void CampaignWorker::process(const fuzz::FuzzJob& job,
                              const util::AtomicBitset* lp_already_covered,
                              WorkerResult& out) {
+  std::chrono::steady_clock::time_point e0;
+  if (tracer_ != nullptr) e0 = std::chrono::steady_clock::now();
   // Recycle the shell's coverage buckets into the scratch RunResult
   // before the run (the simulator resets them keeping capacity), closing
   // the buffer-reuse loop across the executor's queue boundary.
@@ -183,6 +231,14 @@ void CampaignWorker::process(const fuzz::FuzzJob& job,
       scratch_.commits = std::move(recycled.commits);
     }
     pending_points_.clear();
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->record(
+        lane_, "execute", "pipeline", e0, std::chrono::steady_clock::now(),
+        job.iteration, {"cache_hit", last_resumed_ ? 1 : 0},
+        {"handoff", static_cast<std::int64_t>(last_handoff_)},
+        {"resume_cycle", static_cast<std::int64_t>(last_resume_cycle_)});
   }
 }
 

@@ -39,9 +39,23 @@
 #include "core/offline.hpp"
 #include "core/vuln_detect.hpp"
 #include "fuzz/corpus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/core.hpp"
 
 namespace specure::core {
+
+/// Observability wiring the session hands each worker before a run():
+/// registry counters (checkpoint-cache hit/miss on the worker's lane)
+/// and, when tracing, the span recorder the worker emits execute /
+/// fast_tier / detailed / checkpoint_resume spans into. All-default
+/// (null) wiring makes every instrumentation site a no-op; nothing here
+/// ever affects simulation results.
+struct WorkerObservability {
+  obs::Registry* registry = nullptr;
+  obs::TraceRecorder* tracer = nullptr;
+  std::size_t lane = 0;
+};
 
 /// Everything the merger needs from one simulated iteration, in a form
 /// that is independent of merge order and campaign state.
@@ -174,6 +188,11 @@ class CampaignWorker {
     return out;
   }
 
+  /// (Re)wire observability; called by the session at run() setup (the
+  /// recorder is rebuilt per traced run). Passing a default-constructed
+  /// value detaches the worker from any previous registry/recorder.
+  void set_observability(const WorkerObservability& hooks);
+
   const sim::Simulator& simulator() const { return sim_; }
   const CheckpointStats& checkpoint_stats() const { return stats_; }
   const CheckpointCache& checkpoint_cache() const { return cache_; }
@@ -198,6 +217,17 @@ class CampaignWorker {
   /// Checkpoints emitted by the most recent cold run, pending donation
   /// to the cache once process() is done with the trace.
   std::vector<sim::Checkpoint> pending_points_;
+
+  // Observability (see set_observability). The counters are inert when
+  // no registry is attached; tracer_ == nullptr skips every span site.
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::size_t lane_ = 0;
+  /// How simulate() served the most recent job (execute-span tags).
+  bool last_resumed_ = false;
+  std::uint64_t last_resume_cycle_ = 0;
+  std::size_t last_handoff_ = 0;
 };
 
 }  // namespace specure::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 
@@ -35,12 +36,72 @@ std::string sanitized_scenario_name(const std::string& name) {
   return out;
 }
 
+/// Total retained span capacity of a traced run, split across lanes
+/// (see obs::TraceRecorder): enough for the most recent ~20k iterations
+/// of a pipelined campaign at a few tens of MB, independent of campaign
+/// length.
+constexpr std::size_t kTraceCapacityEvents = std::size_t{1} << 17;
+
+std::uint64_t delta_counter(const obs::Snapshot& end,
+                            const obs::Snapshot& base, const char* name) {
+  return end.counter_value(name) - base.counter_value(name);
+}
+
+std::uint64_t delta_shard(const obs::Snapshot& end, const obs::Snapshot& base,
+                          const char* name, std::size_t shard) {
+  const obs::CounterSnapshot* e = end.counter(name);
+  const obs::CounterSnapshot* b = base.counter(name);
+  const std::uint64_t ev =
+      e != nullptr && shard < e->shards.size() ? e->shards[shard] : 0;
+  const std::uint64_t bv =
+      b != nullptr && shard < b->shards.size() ? b->shards[shard] : 0;
+  return ev - bv;
+}
+
+/// PipelineStats as a view over the registry: this run()'s deltas
+/// between the baseline snapshot (taken at setup) and now.
+PipelineStats pipeline_stats_view(const obs::Snapshot& base,
+                                  const obs::Snapshot& end,
+                                  std::size_t jobs) {
+  PipelineStats out;
+  const auto secs = [&](const char* name) {
+    return static_cast<double>(delta_counter(end, base, name)) / 1e9;
+  };
+  out.generate_seconds = secs("stage/generate_ns");
+  out.merge_seconds = secs("stage/merge_ns");
+  out.result_wait_seconds = secs("stage/result_wait_ns");
+  out.vcd_seconds = secs("stage/vcd_ns");
+  out.workers.resize(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    PipelineWorkerStats& ws = out.workers[w];
+    ws.execute_seconds =
+        static_cast<double>(delta_shard(end, base, "worker/execute_ns", w)) /
+        1e9;
+    ws.queue_wait_seconds =
+        static_cast<double>(
+            delta_shard(end, base, "worker/queue_wait_ns", w)) /
+        1e9;
+    ws.jobs = delta_shard(end, base, "worker/jobs", w);
+    ws.fast_cycles = delta_shard(end, base, "tier/fast_cycles", w);
+    ws.handoffs = delta_shard(end, base, "tier/handoffs", w);
+    ws.tier_fallbacks = delta_shard(end, base, "tier/fallbacks", w);
+  }
+  return out;
+}
+
 }  // namespace
 
 Session::Session(CampaignSpec spec)
     : spec_((spec.validate(), std::move(spec))),
       offline_(run_offline_phase(spec_.core, spec_.pdlc)),
-      sim_(spec_.core) {}
+      sim_(spec_.core),
+      // Constructed eagerly (not lazily in run()) so the pointer never
+      // mutates once the session is shared — the serve daemon scrapes
+      // metrics_snapshot() from connection threads while the runner is
+      // inside run(). resolved_jobs() is constant for the session's
+      // life, so the run()-time rebuild guard only fires if a run ever
+      // needs more lanes than this (it cannot today).
+      metrics_(std::make_unique<obs::Registry>(resolved_jobs() + 1)) {}
 
 Session& Session::on_progress(std::function<void(const ProgressEvent&)> fn) {
   progress_observers_.push_back(std::move(fn));
@@ -143,6 +204,12 @@ CampaignResult Session::run() {
         slash == std::string::npos ? "." : spec_.state_out.substr(0, slash),
         "state_out");
   }
+  if (!spec_.trace_out.empty()) {
+    const std::size_t slash = spec_.trace_out.find_last_of('/');
+    ensure_dir_writable(
+        slash == std::string::npos ? "." : spec_.trace_out.substr(0, slash),
+        "trace_out");
+  }
   const auto t0 = std::chrono::steady_clock::now();
   // Wall-clock within this run() segment; elapsed() adds the time the
   // campaign accumulated before a pause, so max_seconds budgets and
@@ -198,6 +265,75 @@ CampaignResult Session::run() {
   const auto secs = [](std::chrono::steady_clock::duration d) {
     return std::chrono::duration<double>(d).count();
   };
+  const auto to_ns = [](std::chrono::steady_clock::duration d) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  };
+
+  // ---- observability setup ----------------------------------------------
+  // One registry shard per pipeline lane: workers 0..jobs-1, merge
+  // strand at lane `jobs`. The registry is cumulative across run()
+  // calls (Prometheus counters are monotonic) and only rebuilt when a
+  // later run() needs more lanes; handles are re-fetched every run, so
+  // a rebuild is transparent here.
+  const bool tracing = !spec_.trace_out.empty();
+  const bool hist = spec_.metrics;
+  merge_lane_ = jobs;
+  if (metrics_ == nullptr || metrics_->shards() < jobs + 1) {
+    metrics_ = std::make_unique<obs::Registry>(jobs + 1);
+  }
+  obs::Registry& reg = *metrics_;
+  struct {
+    obs::Counter generate, merge, result_wait, vcd;     // merge strand
+    obs::Counter execute, queue_wait, jobs_done;        // per worker
+    obs::Counter fast_cycles, handoffs, fallbacks;      // tier mirror
+    obs::Counter iterations, findings;
+    obs::Gauge covered_pdlc, coverage_points;
+    obs::Histogram h_generate, h_queue, h_execute, h_result, h_merge,
+        h_iter;
+  } o;
+  o.generate = reg.counter("stage/generate_ns");
+  o.merge = reg.counter("stage/merge_ns");
+  o.result_wait = reg.counter("stage/result_wait_ns");
+  o.vcd = reg.counter("stage/vcd_ns");
+  o.execute = reg.counter("worker/execute_ns");
+  o.queue_wait = reg.counter("worker/queue_wait_ns");
+  o.jobs_done = reg.counter("worker/jobs");
+  o.fast_cycles = reg.counter("tier/fast_cycles");
+  o.handoffs = reg.counter("tier/handoffs");
+  o.fallbacks = reg.counter("tier/fallbacks");
+  o.iterations = reg.counter("campaign/iterations");
+  o.findings = reg.counter("campaign/findings");
+  o.covered_pdlc = reg.gauge("campaign/covered_pdlc");
+  o.coverage_points = reg.gauge("campaign/coverage_points");
+  if (hist) {
+    // Registered only when spec.metrics is on, so a metrics=off session
+    // exports no empty histogram families.
+    o.h_generate = reg.histogram("hist/generate_ns");
+    o.h_queue = reg.histogram("hist/queue_wait_ns");
+    o.h_execute = reg.histogram("hist/execute_ns");
+    o.h_result = reg.histogram("hist/result_wait_ns");
+    o.h_merge = reg.histogram("hist/merge_ns");
+    o.h_iter = reg.histogram("hist/iter_latency_ns");
+  }
+  tracer_.reset();
+  if (tracing) {
+    tracer_ = std::make_unique<obs::TraceRecorder>(jobs + 1,
+                                                   kTraceCapacityEvents);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      tracer_->set_lane_name(w, "worker " + std::to_string(w));
+    }
+    tracer_->set_lane_name(merge_lane_, "merge strand");
+  }
+  // Workers beyond this run's job count (a previous run resolved more)
+  // are detached so no stale recorder pointer survives.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->set_observability(
+        w < jobs ? WorkerObservability{&reg, tracer_.get(), w}
+                 : WorkerObservability{});
+  }
+  // Baseline for this run's PipelineStats view (registry deltas).
+  const obs::Snapshot obs_base = reg.snapshot();
 
   // ---- shared in-order merge step ---------------------------------------
   // Both executors implement the same generation contract (job k is
@@ -253,6 +389,12 @@ CampaignResult Session::run() {
   }
   paused_ = false;
 
+  // Issue timestamps for the iteration-latency histogram (draw -> merge,
+  // the full pipeline residence time of one iteration). Indexed by slot,
+  // like everything else keyed on absolute iteration numbers.
+  std::vector<std::chrono::steady_clock::time_point> issue_ts(
+      hist ? window : 0);
+
   const auto draw_job = [&](fuzz::FuzzJob& out) {
     if (!replay.empty()) {
       out = std::move(replay.front());
@@ -261,12 +403,21 @@ CampaignResult Session::run() {
       return false;
     }
     inflight.push_back(out);
+    if (!issue_ts.empty()) {
+      issue_ts[(out.iteration - 1) % window] = now();
+    }
     return true;
   };
 
-  const auto merge_one = [&](WorkerResult& result, const fuzz::FuzzJob& job) {
+  const auto merge_one = [&](WorkerResult& result, const fuzz::FuzzJob& job,
+                             std::chrono::steady_clock::time_point m0) {
     inflight.pop_front();  // `job` is always the oldest in-flight iteration
     ++merged_total;
+    o.iterations.add(merge_lane_);
+    if (!issue_ts.empty()) {
+      o.h_iter.record(merge_lane_,
+                      to_ns(m0 - issue_ts[(job.iteration - 1) % window]));
+    }
     const CampaignResult& live = merger.result();
     const std::size_t prev_lp =
         live.history.empty() ? 0 : live.history.back().covered_pdlc;
@@ -280,6 +431,9 @@ CampaignResult Session::run() {
 
     const CampaignResult& r = merger.result();
     const IterationRecord& rec = r.history.back();
+    o.findings.add(merge_lane_, r.vulns.size() - prev_vulns);
+    o.covered_pdlc.set(rec.covered_pdlc);
+    o.coverage_points.set(rec.coverage_points);
 
     if (rec.covered_pdlc > prev_lp || rec.coverage_points > prev_points) {
       const CoverageEvent event{rec.iteration,
@@ -417,7 +571,11 @@ CampaignResult Session::run() {
       while (pending.size() < window && draw_job(job)) {
         pending.push_back(std::move(job));
       }
-      pipeline_stats_.generate_seconds += secs(now() - g0);
+      const auto g1 = now();
+      o.generate.add(merge_lane_, to_ns(g1 - g0));
+      if (tracing) {
+        tracer_->record(merge_lane_, "generate", "pipeline", g0, g1);
+      }
     }
 
     std::vector<WorkerResult> results(window);
@@ -455,28 +613,46 @@ CampaignResult Session::run() {
         }
       }
       pool.parallel_for(jobs, [&](std::size_t worker, std::size_t) {
-        const auto e0 = now();
         for (const std::size_t task : groups[worker]) {
+          const auto j0 = now();
           if (test_job_delay_) test_job_delay_(pending[task], worker);
           workers_[worker]->process(pending[task], &covered, results[task]);
+          const std::uint64_t d = to_ns(now() - j0);
+          o.execute.add(worker, d);
+          o.h_execute.record(worker, d);
         }
-        PipelineWorkerStats& ws = pipeline_stats_.workers[worker];
-        ws.execute_seconds += secs(now() - e0);
-        ws.jobs += groups[worker].size();
+        o.jobs_done.add(worker, groups[worker].size());
       });
 
       next.clear();
       for (std::size_t i = 0; i < pending.size(); ++i) {
         {
           const auto m0 = now();
-          merge_one(results[i], pending[i]);
-          pipeline_stats_.merge_seconds += secs(now() - m0);
+          merge_one(results[i], pending[i], m0);
+          const auto m1 = now();
+          const std::uint64_t d = to_ns(m1 - m0);
+          o.merge.add(merge_lane_, d);
+          o.h_merge.record(merge_lane_, d);
+          if (tracing) {
+            tracer_->record(merge_lane_, "merge", "pipeline", m0, m1,
+                            pending[i].iteration);
+          }
         }
         if (stopped) break;
         const auto g0 = now();
         fuzz::FuzzJob job;
-        if (draw_job(job)) next.push_back(std::move(job));
-        pipeline_stats_.generate_seconds += secs(now() - g0);
+        const bool drew = draw_job(job);
+        const auto g1 = now();
+        const std::uint64_t gd = to_ns(g1 - g0);
+        o.generate.add(merge_lane_, gd);
+        if (drew) {
+          o.h_generate.record(merge_lane_, gd);
+          if (tracing) {
+            tracer_->record(merge_lane_, "generate", "pipeline", g0, g1,
+                            job.iteration);
+          }
+          next.push_back(std::move(job));
+        }
         // Pause boundary: the frontier invariant holds right here (merge
         // + refill done). The rest of this window stays un-merged — its
         // jobs are in `inflight`, so the frontier re-executes them.
@@ -525,7 +701,6 @@ CampaignResult Session::run() {
     threads.reserve(jobs);
     for (std::size_t w = 0; w < jobs; ++w) {
       threads.emplace_back([&, w] {
-        PipelineWorkerStats& ws = pipeline_stats_.workers[w];
         util::SpscRing<std::uint32_t>& queue = *job_queues[w];
         try {
           std::uint32_t s = 0;
@@ -533,12 +708,19 @@ CampaignResult Session::run() {
             const auto w0 = now();
             if (!queue.pop_wait(s)) break;  // closed and drained
             const auto w1 = now();
-            ws.queue_wait_seconds += secs(w1 - w0);
+            const std::uint64_t wd = to_ns(w1 - w0);
+            o.queue_wait.add(w, wd);
+            o.h_queue.record(w, wd);
+            if (tracing) {
+              tracer_->record(w, "queue_wait", "pipeline", w0, w1);
+            }
             Slot& slot = slots[s];
             if (test_job_delay_) test_job_delay_(slot.job, w);
             workers_[w]->process(slot.job, &covered, slot.result);
-            ws.execute_seconds += secs(now() - w1);
-            ++ws.jobs;
+            const std::uint64_t ed = to_ns(now() - w1);
+            o.execute.add(w, ed);
+            o.h_execute.record(w, ed);
+            o.jobs_done.add(w);
             completed.push(s);
           }
         } catch (...) {
@@ -566,10 +748,16 @@ CampaignResult Session::run() {
     std::uint64_t issued = merged_total;
     std::uint64_t merged = merged_total;
 
+    // The most recent dispatch's parent-affinity decision (merge-strand
+    // private), tagged onto the generate span when tracing.
+    std::size_t last_affinity = 0;
+    std::size_t last_assigned = 0;
+
     const auto dispatch = [&](fuzz::FuzzJob&& job) {
       const auto s =
           static_cast<std::uint32_t>((job.iteration - 1) % window);
-      std::size_t w = CampaignScheduler::worker_for(job, jobs);
+      const std::size_t affinity = CampaignScheduler::worker_for(job, jobs);
+      std::size_t w = affinity;
       if (load[w] >= share) {
         std::size_t least = 0;
         for (std::size_t i = 1; i < jobs; ++i) {
@@ -577,6 +765,8 @@ CampaignResult Session::run() {
         }
         w = least;
       }
+      last_affinity = affinity;
+      last_assigned = w;
       slot_worker[s] = w;
       ++load[w];
       slots[s].job = std::move(job);
@@ -592,7 +782,11 @@ CampaignResult Session::run() {
       while (issued - merged < window && draw_job(job)) {
         dispatch(std::move(job));
       }
-      pipeline_stats_.generate_seconds += secs(now() - g0);
+      const auto g1 = now();
+      o.generate.add(merge_lane_, to_ns(g1 - g0));
+      if (tracing) {
+        tracer_->record(merge_lane_, "generate", "pipeline", g0, g1);
+      }
     }
 
     bool failed = false;
@@ -601,7 +795,13 @@ CampaignResult Session::run() {
       {
         const auto r0 = now();
         if (!completed.pop_wait(s)) break;  // unreachable: never closed
-        pipeline_stats_.result_wait_seconds += secs(now() - r0);
+        const auto r1 = now();
+        const std::uint64_t d = to_ns(r1 - r0);
+        o.result_wait.add(merge_lane_, d);
+        o.h_result.record(merge_lane_, d);
+        if (tracing) {
+          tracer_->record(merge_lane_, "result_wait", "pipeline", r0, r1);
+        }
       }
       if (s == kErrorSignal) {
         failed = true;
@@ -619,15 +819,39 @@ CampaignResult Session::run() {
         --load[slot_worker[ns]];
         {
           const auto m0 = now();
-          merge_one(slot.result, slot.job);
-          pipeline_stats_.merge_seconds += secs(now() - m0);
+          merge_one(slot.result, slot.job, m0);
+          const auto m1 = now();
+          const std::uint64_t d = to_ns(m1 - m0);
+          o.merge.add(merge_lane_, d);
+          o.h_merge.record(merge_lane_, d);
+          if (tracing) {
+            tracer_->record(merge_lane_, "merge", "pipeline", m0, m1,
+                            slot.job.iteration);
+          }
         }
         ++merged;
         if (stopped) break;
         const auto g0 = now();
         fuzz::FuzzJob job;
-        if (draw_job(job)) dispatch(std::move(job));
-        pipeline_stats_.generate_seconds += secs(now() - g0);
+        const bool drew = draw_job(job);
+        std::uint64_t drawn_iteration = 0;
+        if (drew) {
+          drawn_iteration = job.iteration;
+          dispatch(std::move(job));
+        }
+        const auto g1 = now();
+        const std::uint64_t gd = to_ns(g1 - g0);
+        o.generate.add(merge_lane_, gd);
+        if (drew) {
+          o.h_generate.record(merge_lane_, gd);
+          if (tracing) {
+            tracer_->record(
+                merge_lane_, "generate", "pipeline", g0, g1, drawn_iteration,
+                {"affinity_worker", static_cast<std::int64_t>(last_affinity)},
+                {"assigned_worker", static_cast<std::int64_t>(last_assigned)},
+                {"spilled", last_assigned != last_affinity ? 1 : 0});
+          }
+        }
         if (post_merge()) {
           paused = true;
           break;
@@ -654,13 +878,26 @@ CampaignResult Session::run() {
     run_window();
   }
 
+  // Mirror this run's tier deltas into the registry (the simulator
+  // accumulates TierStats internally; the registry is the export
+  // surface), then materialize PipelineStats as the registry delta over
+  // this run's baseline. Workers have quiesced by here (threads joined,
+  // parallel_for returned), so plain reads are race-free.
   for (std::size_t w = 0; w < jobs; ++w) {
     const sim::TierStats& ts = workers_[w]->tier_stats();
-    PipelineWorkerStats& ws = pipeline_stats_.workers[w];
-    ws.fast_cycles = ts.fast_cycles - tier_baseline[w].fast_cycles;
-    ws.handoffs = ts.handoffs - tier_baseline[w].handoffs;
-    ws.tier_fallbacks = ts.fallbacks - tier_baseline[w].fallbacks;
+    o.fast_cycles.add(w, ts.fast_cycles - tier_baseline[w].fast_cycles);
+    o.handoffs.add(w, ts.handoffs - tier_baseline[w].handoffs);
+    o.fallbacks.add(w, ts.fallbacks - tier_baseline[w].fallbacks);
   }
+  pipeline_stats_ = pipeline_stats_view(obs_base, reg.snapshot(), jobs);
+
+  const auto flush_trace = [&] {
+    if (tracer_ != nullptr) {
+      std::ofstream out(spec_.trace_out,
+                        std::ios::trunc | std::ios::binary);
+      tracer_->write_chrome_trace(out);
+    }
+  };
 
   pause_requested_.store(false, std::memory_order_relaxed);
   pause_at_.store(0, std::memory_order_relaxed);
@@ -683,6 +920,10 @@ CampaignResult Session::run() {
     resume_ = std::make_unique<CampaignFrontier>(std::move(frontier));
     paused_ = true;
     triage_report_.reset();
+    // The trace of the truncated segment is still written (and
+    // rewritten if finalize_interrupted() later drains waveforms) so an
+    // interrupted campaign leaves an inspectable timeline behind.
+    flush_trace();
     return result;
   }
 
@@ -726,8 +967,17 @@ CampaignResult Session::run() {
             rerun.trace, w.start_cycle, w.end_cycle);
       }
     }
-    pipeline_stats_.vcd_seconds += secs(now() - v0);
+    const auto v1 = now();
+    o.vcd.add(merge_lane_, to_ns(v1 - v0));
+    if (tracing) {
+      tracer_->record(merge_lane_, "vcd_drain", "pipeline", v0, v1);
+    }
+    // The stats view above was built before this drain ran; patch the
+    // wall clock in directly so the --stats footer still accounts it.
+    pipeline_stats_.vcd_seconds += secs(v1 - v0);
   }
+
+  flush_trace();
 
   CampaignResult result = merger.take_result();
   result.seconds = elapsed();
@@ -767,8 +1017,11 @@ void Session::finalize_interrupted() {
   // Drain the frontier's deferred waveforms (same re-simulation scheme as
   // the completed path; the frontier pinned the pending list at the merge
   // boundary, so the file set matches what the resumed campaign will
-  // eventually write for these findings).
-  if (!spec_.vcd_out.empty()) {
+  // eventually write for these findings). The drain is timed into the
+  // same stage counter / span / --stats field the completed path uses —
+  // an interrupted run's footer accounts its waveform cost too.
+  if (!spec_.vcd_out.empty() && !f.pending_vcd.empty()) {
+    const auto v0 = std::chrono::steady_clock::now();
     for (const PendingWaveform& pending : f.pending_vcd) {
       const sim::RunResult rerun = sim_.run(pending.program);
       for (std::size_t v = pending.vuln_begin; v < pending.vuln_end; ++v) {
@@ -779,6 +1032,21 @@ void Session::finalize_interrupted() {
                 std::to_string(v) + ".vcd",
             rerun.trace, w.start_cycle, w.end_cycle);
       }
+    }
+    const auto v1 = std::chrono::steady_clock::now();
+    const auto drained =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(v1 - v0);
+    if (metrics_ != nullptr) {
+      metrics_->counter("stage/vcd_ns")
+          .add(merge_lane_, static_cast<std::uint64_t>(drained.count()));
+    }
+    pipeline_stats_.vcd_seconds +=
+        std::chrono::duration<double>(drained).count();
+    if (tracer_ != nullptr && !spec_.trace_out.empty()) {
+      tracer_->record(merge_lane_, "vcd_drain", "pipeline", v0, v1);
+      std::ofstream out(spec_.trace_out,
+                        std::ios::trunc | std::ios::binary);
+      tracer_->write_chrome_trace(out);
     }
   }
 

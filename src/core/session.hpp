@@ -38,6 +38,8 @@
 #include "core/campaign_worker.hpp"
 #include "core/offline.hpp"
 #include "core/result_merger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/core.hpp"
 #include "triage/triage.hpp"
 #include "util/thread_pool.hpp"
@@ -140,7 +142,9 @@ struct alignas(64) PipelineWorkerStats {
 /// Per-stage timing of the most recent run() — the diagnosis surface for
 /// scaling regressions (`specure run --stats`, bench JSON metrics).
 /// Pure wall-clock telemetry: never part of CampaignResult, never
-/// affects results.
+/// affects results. Since the obs layer landed this is a *view*:
+/// materialized at the end of run() from the session's metrics registry
+/// (this run's counter deltas), not accumulated independently.
 struct PipelineStats {
   double generate_seconds = 0;     ///< scheduler/fuzzer job generation
   double merge_seconds = 0;        ///< in-order merging + observers
@@ -252,6 +256,16 @@ class Session {
   /// empty before the first run).
   const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
 
+  /// Point-in-time copy of the session's metrics registry: stage/worker
+  /// counters (cumulative across run() calls), campaign gauges, and —
+  /// when spec.metrics is on — the per-iteration latency histograms
+  /// behind the --stats percentiles and the serve `metrics` verb. Safe
+  /// to call from any thread while a campaign runs (the serve daemon
+  /// scrapes live); empty before the first run().
+  obs::Snapshot metrics_snapshot() const {
+    return metrics_ != nullptr ? metrics_->snapshot() : obs::Snapshot{};
+  }
+
   /// Test-only hook: runs on the worker thread before each job is
   /// processed (pipeline_test injects adversarial per-job delays to
   /// stress the in-order merge). Must not touch campaign state.
@@ -287,6 +301,15 @@ class Session {
   std::vector<StopCondition> stops_;
   std::unique_ptr<triage::TriageReport> triage_report_;
   PipelineStats pipeline_stats_;
+  /// Metrics registry: built at run() setup with one shard per pipeline
+  /// lane (workers + merge strand), grown when a later run() resolves
+  /// more jobs, cumulative across campaigns. unique_ptr: instrument
+  /// handles point into it, so it must be address-stable.
+  std::unique_ptr<obs::Registry> metrics_;
+  /// Span recorder for the current/most recent traced run (rebuilt per
+  /// run() when spec.trace_out is set; null otherwise).
+  std::unique_ptr<obs::TraceRecorder> tracer_;
+  std::size_t merge_lane_ = 0;  ///< registry shard of the merge strand
   std::function<void(const fuzz::FuzzJob&, std::size_t)> test_job_delay_;
 };
 

@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+namespace specure::obs {
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // The (1-based) rank of the requested observation, rounded up so p=100
+  // lands on the last observation and p=0 on the first.
+  const double want = p / 100.0 * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(want);
+  if (static_cast<double>(rank) < want || rank == 0) ++rank;
+
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    const std::uint64_t n = buckets[i];
+    if (n == 0) continue;
+    if (below + n >= rank) {
+      const double lower =
+          i == 0 ? 0 : static_cast<double>(bucket_upper(i - 1)) + 1;
+      const double upper = static_cast<double>(bucket_upper(i));
+      const double frac =
+          static_cast<double>(rank - below) / static_cast<double>(n);
+      return lower + (upper - lower) * frac;
+    }
+    below += n;
+  }
+  return static_cast<double>(bucket_upper(kHistogramBuckets - 1));
+}
+
+const CounterSnapshot* Snapshot::counter(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* Snapshot::gauge(std::string_view name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  const CounterSnapshot* c = counter(name);
+  return c != nullptr ? c->total : 0;
+}
+
+Registry::Registry(std::size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+
+template <typename Slot>
+Slot* Registry::find_slot(std::deque<Slot>& slots, const std::string& name) {
+  for (Slot& slot : slots) {
+    if (slot.name == name) return &slot;
+  }
+  return nullptr;
+}
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (CounterSlot* slot = find_slot(counters_, name)) {
+    return Counter(slot->cells.get());
+  }
+  CounterSlot& slot = counters_.emplace_back();
+  slot.name = name;
+  slot.cells = std::make_unique<Counter::Cell[]>(shards_);
+  return Counter(slot.cells.get());
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (GaugeSlot* slot = find_slot(gauges_, name)) {
+    return Gauge(&slot->cell);
+  }
+  GaugeSlot& slot = gauges_.emplace_back();
+  slot.name = name;
+  return Gauge(&slot.cell);
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (HistogramSlot* slot = find_slot(histograms_, name)) {
+    return Histogram(slot->shards.get());
+  }
+  HistogramSlot& slot = histograms_.emplace_back();
+  slot.name = name;
+  slot.shards = std::make_unique<Histogram::Shard[]>(shards_);
+  return Histogram(slot.shards.get());
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot snap;
+  snap.shards = shards_;
+  snap.counters.reserve(counters_.size());
+  for (const CounterSlot& slot : counters_) {
+    CounterSnapshot c;
+    c.name = slot.name;
+    c.shards.resize(shards_);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      c.shards[s] = slot.cells[s].v.load(std::memory_order_relaxed);
+      c.total += c.shards[s];
+    }
+    snap.counters.push_back(std::move(c));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const GaugeSlot& slot : gauges_) {
+    snap.gauges.push_back(
+        {slot.name, slot.cell.load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const HistogramSlot& slot : histograms_) {
+    HistogramSnapshot h;
+    h.name = slot.name;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      const Histogram::Shard& shard = slot.shards[s];
+      h.count += shard.count.load(std::memory_order_relaxed);
+      h.sum += shard.sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace specure::obs

@@ -1,0 +1,206 @@
+// obs — the unified observability layer: a lock-free metrics registry
+// shared by the campaign pipeline, the benches and the serve daemon.
+//
+// Design: registration (name → instrument) takes a mutex and happens
+// once per run() setup; the hot path — Counter::add / Gauge::set /
+// Histogram::record — is a handful of relaxed atomic operations on
+// cache-line-aligned per-shard cells and never blocks, allocates or
+// branches on recorded values. Shards map to pipeline lanes (one per
+// simulation worker plus one for the merge strand), so concurrent
+// writers never contend on a line and per-worker breakdowns survive
+// into snapshots.
+//
+// Everything here is wall-clock telemetry: instruments are written from
+// timing/count call sites only, nothing in the campaign ever reads them
+// back into a decision, so recording is result-neutral by construction
+// (pinned by the on/off differential in tests/obs_test.cpp).
+//
+// Snapshot() can run concurrently with writers (relaxed reads; each
+// value is individually atomic — per-instrument totals are exact once
+// writers quiesce, and monotonically fresh while they run).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specure::obs {
+
+/// Log2-bucketed histogram resolution: bucket 0 holds the value 0,
+/// bucket i >= 1 holds [2^(i-1), 2^i - 1]. 64 buckets cover the full
+/// uint64 range (values are nanoseconds at every current call site).
+constexpr std::size_t kHistogramBuckets = 64;
+
+/// Sharded monotonic counter handle. Copyable, trivially destructible;
+/// valid while the owning Registry lives. A default-constructed handle
+/// is inert (add() is a no-op), so instrumented code needs no null
+/// checks when observability is not wired up.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::size_t shard, std::uint64_t v = 1) const {
+    if (cells_ != nullptr) {
+      cells_[shard].v.fetch_add(v, std::memory_order_relaxed);
+    }
+  }
+
+  bool valid() const { return cells_ != nullptr; }
+
+ private:
+  friend class Registry;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  explicit Counter(Cell* cells) : cells_(cells) {}
+  Cell* cells_ = nullptr;
+};
+
+/// Last-value gauge handle (unsharded: gauges are written from one
+/// strand at a time — the merge strand or the daemon runner).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::uint64_t v) const {
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
+  }
+
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// Sharded log2-bucketed histogram handle.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// The bucket index a value lands in (log2 rule above; the top bucket
+  /// absorbs the unrepresentable tail past 2^62).
+  static std::size_t bucket_of(std::uint64_t v) {
+    return std::min(static_cast<std::size_t>(std::bit_width(v)),
+                    kHistogramBuckets - 1);
+  }
+
+  void record(std::size_t shard, std::uint64_t v) const {
+    if (shards_ == nullptr) return;
+    Shard& s = shards_[shard];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool valid() const { return shards_ != nullptr; }
+
+ private:
+  friend class Registry;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  explicit Histogram(Shard* shards) : shards_(shards) {}
+  Shard* shards_ = nullptr;
+};
+
+/// Point-in-time copy of one counter (total plus the per-shard split —
+/// the per-worker breakdown PipelineStats renders).
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> shards;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Point-in-time copy of one histogram, merged across shards.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Inclusive upper bound of bucket i (0 for bucket 0, else 2^i - 1).
+  static std::uint64_t bucket_upper(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  /// Estimated value at percentile p (0..100), linearly interpolated
+  /// within the containing log2 bucket; 0 when the histogram is empty.
+  double percentile(double p) const;
+};
+
+struct Snapshot {
+  std::size_t shards = 0;
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const CounterSnapshot* counter(std::string_view name) const;
+  const GaugeSnapshot* gauge(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+  /// Counter total, 0 when absent.
+  std::uint64_t counter_value(std::string_view name) const;
+};
+
+/// The instrument registry. Thread-safe registration (idempotent:
+/// looking up an existing name returns the same cells); instruments are
+/// cumulative for the registry's lifetime and never unregistered, so
+/// handles stay valid until the Registry is destroyed.
+class Registry {
+ public:
+  /// `shards` is the writer-lane count (workers + merge strand). Every
+  /// sharded instrument gets this many cells.
+  explicit Registry(std::size_t shards);
+
+  std::size_t shards() const { return shards_; }
+
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  Snapshot snapshot() const;
+
+ private:
+  template <typename Slot>
+  Slot* find_slot(std::deque<Slot>& slots, const std::string& name);
+
+  struct CounterSlot {
+    std::string name;
+    std::unique_ptr<Counter::Cell[]> cells;
+  };
+  struct GaugeSlot {
+    std::string name;
+    std::atomic<std::uint64_t> cell{0};
+  };
+  struct HistogramSlot {
+    std::string name;
+    std::unique_ptr<Histogram::Shard[]> shards;
+  };
+
+  std::size_t shards_;
+  mutable std::mutex mu_;  ///< registration + snapshot iteration only
+  // deques: stable element addresses under growth (handles point in).
+  std::deque<CounterSlot> counters_;
+  std::deque<GaugeSlot> gauges_;
+  std::deque<HistogramSlot> histograms_;
+};
+
+}  // namespace specure::obs

@@ -1,0 +1,124 @@
+#include "obs/prometheus.hpp"
+
+#include <cstdio>
+
+namespace specure::obs {
+
+namespace {
+
+bool ends_with_ns(const std::string& s) {
+  return s.size() >= 3 && s.compare(s.size() - 3, 3, "_ns") == 0;
+}
+
+/// "stage/merge_ns" -> ("specure_stage_merge_seconds", true).
+std::string family_name(const std::string& raw, bool* is_ns) {
+  std::string name = raw;
+  // The "hist/" prefix is a registry namespace, not exposition-relevant.
+  if (name.rfind("hist/", 0) == 0) name = name.substr(5);
+  *is_ns = ends_with_ns(name);
+  if (*is_ns) name = name.substr(0, name.size() - 3) + "_seconds";
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return "specure_" + name;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string braced(const std::string& labels) {
+  return labels.empty() ? "" : "{" + labels + "}";
+}
+
+std::string with_label(const std::string& labels, const std::string& extra) {
+  return "{" + (labels.empty() ? extra : labels + "," + extra) + "}";
+}
+
+}  // namespace
+
+PrometheusRenderer::Family& PrometheusRenderer::family(const std::string& name,
+                                                      const char* type) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    order_.push_back(name);
+  }
+  return it->second;
+}
+
+void PrometheusRenderer::add(const Snapshot& snapshot,
+                             const std::string& labels) {
+  for (const CounterSnapshot& c : snapshot.counters) {
+    bool is_ns = false;
+    const std::string name = family_name(c.name, &is_ns) + "_total";
+    family(name, "counter")
+        .lines.push_back(name + braced(labels) + " " +
+                         (is_ns ? fmt(static_cast<double>(c.total) / 1e9)
+                                : std::to_string(c.total)));
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    bool is_ns = false;
+    const std::string name = family_name(g.name, &is_ns);
+    family(name, "gauge")
+        .lines.push_back(name + braced(labels) + " " +
+                         (is_ns ? fmt(static_cast<double>(g.value) / 1e9)
+                                : std::to_string(g.value)));
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    bool is_ns = false;
+    const std::string name = family_name(h.name, &is_ns);
+    const double scale = is_ns ? 1e-9 : 1.0;
+    Family& fam = family(name, "histogram");
+    // Cumulative "le" buckets; only non-empty log2 buckets are emitted
+    // (plus the mandatory +Inf), keeping the exposition compact.
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      const double le =
+          static_cast<double>(HistogramSnapshot::bucket_upper(b)) * scale;
+      fam.lines.push_back(name + "_bucket" +
+                          with_label(labels, "le=\"" + fmt(le) + "\"") + " " +
+                          std::to_string(cumulative));
+    }
+    fam.lines.push_back(name + "_bucket" + with_label(labels, "le=\"+Inf\"") +
+                        " " + std::to_string(h.count));
+    fam.lines.push_back(name + "_sum" + braced(labels) + " " +
+                        fmt(static_cast<double>(h.sum) * scale));
+    fam.lines.push_back(name + "_count" + braced(labels) + " " +
+                        std::to_string(h.count));
+  }
+}
+
+void PrometheusRenderer::add_sample(const std::string& raw, const char* type,
+                                    double value, const std::string& labels) {
+  bool is_ns = false;
+  std::string name = family_name(raw, &is_ns);
+  if (is_ns) value /= 1e9;
+  if (std::string(type) == "counter") name += "_total";
+  family(name, type).lines.push_back(name + braced(labels) + " " + fmt(value));
+}
+
+std::string PrometheusRenderer::render() const {
+  std::string out;
+  for (const std::string& name : order_) {
+    const Family& fam = families_.at(name);
+    out += "# TYPE " + name + " " + fam.type + "\n";
+    for (const std::string& line : fam.lines) out += line + "\n";
+  }
+  return out;
+}
+
+void render_prometheus(const Snapshot& snapshot, const std::string& labels,
+                       std::string& out) {
+  PrometheusRenderer renderer;
+  renderer.add(snapshot, labels);
+  out += renderer.render();
+}
+
+}  // namespace specure::obs

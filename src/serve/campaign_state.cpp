@@ -428,7 +428,8 @@ const std::vector<std::string>& result_neutral_keys() {
       "jobs",          "pipeline",        "tier",
       "checkpoint",    "checkpoint_cache_mb", "progress_interval",
       "vcd_out",       "triage",          "triage_out",
-      "state_out",     "state_interval"};
+      "state_out",     "state_interval",  "metrics",
+      "trace_out"};
   return keys;
 }
 

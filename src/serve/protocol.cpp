@@ -346,6 +346,7 @@ const std::vector<VerbDef>& verb_table() {
   static const std::vector<VerbDef> table = {
       {"submit", {"spec"}, {"spec"}},
       {"status", {"id"}, {"id"}},
+      {"metrics", {"id"}, {}},
       {"events", {"id", "from", "follow"}, {"id"}},
       {"pause", {"id"}, {"id"}},
       {"resume", {"id"}, {"id"}},

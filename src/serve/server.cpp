@@ -16,6 +16,7 @@
 
 #include "core/report.hpp"
 #include "core/vuln_detect.hpp"
+#include "obs/prometheus.hpp"
 #include "serve/campaign_state.hpp"
 #include "serve/protocol.hpp"
 #include "util/strings.hpp"
@@ -58,6 +59,12 @@ bool is_terminal(const std::string& status) {
   return status == "done" || status == "failed" || status == "cancelled";
 }
 
+std::string fmt_rate(std::uint64_t milli) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(milli) / 1e3);
+  return buf;
+}
+
 /// All complete lines of a file (a trailing unterminated fragment — a
 /// write torn by SIGKILL — is ignored; it can only be an event past the
 /// last durable state write, which the resumed campaign re-emits).
@@ -88,6 +95,10 @@ Server::Server(ServerOptions options)
   // connection, not kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
   if (options_.slice_iterations == 0) options_.slice_iterations = 32;
+
+  slices_ = daemon_metrics_.counter("daemon/slices");
+  state_writes_ = daemon_metrics_.counter("daemon/state_writes");
+  state_write_ns_ = daemon_metrics_.histogram("hist/daemon/state_write_ns");
 
   recover();
 
@@ -182,11 +193,53 @@ void Server::attach_session(Tenant& tenant) {
   const double interval =
       options_.state_interval > 0 ? options_.state_interval : 1e18;
   const std::string state_path = store_.state_path(tenant.id);
+  const std::string metrics_path = store_.metrics_path(tenant.id);
   session.on_frontier(
-      [t, state_path](const core::CampaignFrontier& f) {
+      [this, t, state_path, metrics_path](const core::CampaignFrontier& f) {
+        const auto w0 = std::chrono::steady_clock::now();
         save_state_file(state_path, t->spec, f);
+        const auto w1 = std::chrono::steady_clock::now();
+        state_writes_.add(0);
+        state_write_ns_.record(
+            0, static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(w1 -
+                                                                        w0)
+                       .count()));
+
+        // Live iteration rate over the window since the previous state
+        // write (sink-private scratch; single writer — this strand).
+        if (t->rate_stamp.time_since_epoch().count() != 0 &&
+            f.merged > t->rate_merged) {
+          const double dt =
+              std::chrono::duration<double>(w0 - t->rate_stamp).count();
+          if (dt > 0) {
+            t->rate_milli.store(
+                static_cast<std::uint64_t>(
+                    static_cast<double>(f.merged - t->rate_merged) * 1e3 /
+                    dt),
+                std::memory_order_relaxed);
+          }
+        }
+        t->rate_stamp = w0;
+        t->rate_merged = f.merged;
+
         t->merged.store(f.merged, std::memory_order_relaxed);
         t->vulns.store(f.result.vulns.size(), std::memory_order_relaxed);
+        t->last_state_merged.store(f.merged, std::memory_order_relaxed);
+
+        // Stamp the tenant's latest registry snapshot next to its state
+        // (atomic tmp+rename like status): scrapeable off disk even when
+        // the daemon is gone.
+        if (t->session != nullptr) {
+          std::string prom;
+          obs::render_prometheus(t->session->metrics_snapshot(),
+                                 "id=\"" + escape_json(t->id) + "\"", prom);
+          const std::string tmp = metrics_path + ".tmp";
+          std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+          out << prom;
+          out.close();
+          std::rename(tmp.c_str(), metrics_path.c_str());
+        }
       },
       interval);
 }
@@ -276,6 +329,7 @@ void Server::run_slice(Tenant& tenant) {
                            options_.slice_iterations);
   try {
     const core::CampaignResult result = session.run();
+    slices_.add(0);
     tenant.merged.store(result.history.size(), std::memory_order_relaxed);
     tenant.vulns.store(result.vulns.size(), std::memory_order_relaxed);
     if (!session.paused()) {
@@ -445,6 +499,13 @@ std::string Server::handle_request(const std::string& frame, int fd,
       return out + "]}";
     }
 
+    if (req.verb == "metrics" && req.id.empty()) {
+      // Daemon-wide scrape: daemon families plus every tenant under its
+      // id label, one exposition.
+      return "{\"ok\": true, \"metrics\": \"" +
+             escape_json(render_metrics("")) + "\"}";
+    }
+
     if (req.verb == "shutdown") {
       write_frame(fd, "{\"ok\": true, \"detail\": \"shutting down; campaigns "
                       "resume on the next start\"}");
@@ -472,6 +533,11 @@ std::string Server::handle_request(const std::string& frame, int fd,
       throw ProtocolError(msg);
     }
 
+    if (req.verb == "metrics") {
+      return "{\"ok\": true, \"metrics\": \"" +
+             escape_json(render_metrics(req.id)) + "\"}";
+    }
+
     if (req.verb == "status") {
       std::lock_guard<std::mutex> lk(mu_);
       std::string out = "{\"ok\": true, \"id\": \"" + escape_json(req.id) +
@@ -481,7 +547,12 @@ std::string Server::handle_request(const std::string& frame, int fd,
                             tenant->merged.load(std::memory_order_relaxed)) +
                         ", \"vulns\": " +
                         std::to_string(
-                            tenant->vulns.load(std::memory_order_relaxed));
+                            tenant->vulns.load(std::memory_order_relaxed)) +
+                        ", \"budget\": " +
+                        std::to_string(tenant->spec.budget.iterations) +
+                        ", \"iters_per_sec\": " +
+                        fmt_rate(tenant->rate_milli.load(
+                            std::memory_order_relaxed));
       if (!tenant->detail.empty()) {
         out += ", \"detail\": \"" + escape_json(tenant->detail) + "\"";
       }
@@ -534,6 +605,57 @@ std::string Server::handle_request(const std::string& frame, int fd,
   } catch (const std::exception& e) {
     return std::string("{\"error\": \"") + escape_json(e.what()) + "\"}";
   }
+}
+
+std::string Server::render_metrics(const std::string& id) {
+  obs::PrometheusRenderer renderer;
+  struct Target {
+    std::string id;
+    Tenant* tenant;
+  };
+  std::vector<Target> targets;
+  std::size_t active = 0;
+  std::size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [tid, tenant] : tenants_) {
+      ++total;
+      if (tenant->status == "running") ++active;
+      if (id.empty() || tid == id) targets.push_back({tid, tenant.get()});
+    }
+  }
+  if (id.empty()) {
+    renderer.add(daemon_metrics_.snapshot(), "");
+    renderer.add_sample("daemon/tenants", "gauge",
+                        static_cast<double>(total), "");
+    renderer.add_sample("daemon/tenants_active", "gauge",
+                        static_cast<double>(active), "");
+  }
+  for (const Target& target : targets) {
+    const std::string labels = "id=\"" + escape_json(target.id) + "\"";
+    Tenant* t = target.tenant;
+    // The session registry snapshot is mutex+atomic internally, safe to
+    // take while the runner is mid-slice in the same session.
+    if (t->session != nullptr) {
+      renderer.add(t->session->metrics_snapshot(), labels);
+    }
+    renderer.add_sample(
+        "tenant/iters_per_sec", "gauge",
+        static_cast<double>(t->rate_milli.load(std::memory_order_relaxed)) /
+            1e3,
+        labels);
+    const std::uint64_t merged = t->merged.load(std::memory_order_relaxed);
+    const std::uint64_t durable =
+        t->last_state_merged.load(std::memory_order_relaxed);
+    renderer.add_sample(
+        "tenant/events_lag_iterations", "gauge",
+        static_cast<double>(merged > durable ? merged - durable : 0),
+        labels);
+    renderer.add_sample("tenant/budget_iterations", "gauge",
+                        static_cast<double>(t->spec.budget.iterations),
+                        labels);
+  }
+  return renderer.render();
 }
 
 void Server::stream_events(int fd, const std::string& id, std::uint64_t from,

@@ -8,6 +8,7 @@
 //   events {id,from}     -->    events.jsonl streamed as frames (tail -f)
 //   pause/resume/cancel  -->    tenant lifecycle transitions
 //   list / shutdown      -->    inventory / graceful stop
+//   metrics {id?}        -->    Prometheus text exposition (one or all)
 //
 // Execution model: every tenant campaign runs as a single-worker
 // core::Session (jobs is result-neutral, so results stay bit-identical
@@ -31,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <fstream>
@@ -42,6 +44,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
 #include "serve/campaign_store.hpp"
 #include "util/thread_pool.hpp"
 
@@ -93,6 +96,18 @@ class Server {
     std::atomic<std::uint64_t> merged{0};
     std::atomic<std::uint64_t> vulns{0};
     std::ofstream events;     ///< append stream (merge-strand only)
+
+    // Live-rate telemetry, updated by the frontier sink (merge strand)
+    // and read by the status/metrics verbs. rate_merged / rate_stamp are
+    // sink-private scratch (single writer, never read elsewhere); the
+    // published rate is the atomic, in milli-iterations/second so it
+    // stays a plain integer.
+    std::atomic<std::uint64_t> rate_milli{0};
+    /// Merged iteration of the last durable state write — the "events
+    /// ahead of durable state" lag gauge is merged - last_state_merged.
+    std::atomic<std::uint64_t> last_state_merged{0};
+    std::uint64_t rate_merged = 0;
+    std::chrono::steady_clock::time_point rate_stamp{};
   };
 
   void recover();
@@ -107,11 +122,22 @@ class Server {
   void stream_events(int fd, const std::string& id, std::uint64_t from,
                      bool follow);
   void set_status(Tenant& tenant, const std::string& status);
+  /// Prometheus text exposition: daemon-wide families plus every
+  /// tenant's session registry under an `id` label (`id` empty), or one
+  /// tenant's families only (`id` given, assumed to exist).
+  std::string render_metrics(const std::string& id);
 
   ServerOptions options_;
   CampaignStore store_;
   util::ThreadPool pool_;
   int listen_fd_ = -1;
+
+  /// Daemon-wide instruments (single shard: slice completion and state
+  /// writes are serialized per tenant and cheap enough to share a lane).
+  obs::Registry daemon_metrics_{1};
+  obs::Counter slices_;            ///< "daemon/slices"
+  obs::Counter state_writes_;      ///< "daemon/state_writes"
+  obs::Histogram state_write_ns_;  ///< "hist/daemon/state_write_ns"
 
   std::mutex mu_;  ///< guards tenants_ map topology + status strings
   std::condition_variable runnable_cv_;

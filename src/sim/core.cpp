@@ -65,7 +65,8 @@ void Simulator::run(const riscv::Program& program,
 void Simulator::run_tiered(const riscv::Program& program,
                            std::size_t handoff_index, RunResult& out,
                            TierStats* stats,
-                           const riscv::DecodedProgram* predecoded) const {
+                           const riscv::DecodedProgram* predecoded,
+                           TierPhaseTimes* phases) const {
   if (cfg_.record_dense_trace) {
     // The dense reference recorder needs the full per-cycle sweep; take
     // the detailed path (this is the debug-only differential config).
@@ -76,7 +77,7 @@ void Simulator::run_tiered(const riscv::Program& program,
   }
   Core core(cfg_, descs_, db_, decode_scratch_);
   core.run_tiered(program, handoff_index, out, nullptr, nullptr, stats,
-                  predecoded);
+                  predecoded, phases);
 }
 
 void Simulator::run_tiered(const riscv::Program& program,
@@ -84,7 +85,8 @@ void Simulator::run_tiered(const riscv::Program& program,
                            const CheckpointOptions& options,
                            std::vector<Checkpoint>& checkpoints,
                            RunResult& out, TierStats* stats,
-                           const riscv::DecodedProgram* predecoded) const {
+                           const riscv::DecodedProgram* predecoded,
+                           TierPhaseTimes* phases) const {
   if (cfg_.record_dense_trace) {
     throw std::runtime_error(
         "checkpointed runs do not support record_dense_trace (the dense "
@@ -93,7 +95,7 @@ void Simulator::run_tiered(const riscv::Program& program,
   checkpoints.clear();
   Core core(cfg_, descs_, db_, decode_scratch_);
   core.run_tiered(program, handoff_index, out, &options, &checkpoints, stats,
-                  predecoded);
+                  predecoded, phases);
 }
 
 FastPrefixOutcome Simulator::run_fast_prefix(const riscv::Program& program,

@@ -160,9 +160,12 @@ class Simulator {
   /// simulator's decode() result for `program`. Falls back to the
   /// detailed path (counted in stats->fallbacks) under
   /// record_dense_trace, which the fast tier does not support.
+  /// `phases`, when given, receives the run's fast/detailed wall-clock
+  /// boundaries (observability span hook; nullptr costs nothing).
   void run_tiered(const riscv::Program& program, std::size_t handoff_index,
                   RunResult& out, TierStats* stats = nullptr,
-                  const riscv::DecodedProgram* predecoded = nullptr) const;
+                  const riscv::DecodedProgram* predecoded = nullptr,
+                  TierPhaseTimes* phases = nullptr) const;
 
   /// Tiered cold run that additionally emits resume checkpoints (all at
   /// or past the handoff boundary: the fast tier substitutes for shallow
@@ -172,7 +175,8 @@ class Simulator {
                   const CheckpointOptions& options,
                   std::vector<Checkpoint>& checkpoints, RunResult& out,
                   TierStats* stats = nullptr,
-                  const riscv::DecodedProgram* predecoded = nullptr) const;
+                  const riscv::DecodedProgram* predecoded = nullptr,
+                  TierPhaseTimes* phases = nullptr) const;
 
   /// Fast prefix only (test / introspection surface): execute up to the
   /// handoff boundary and materialize it into `boundary` — a Checkpoint

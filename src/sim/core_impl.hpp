@@ -138,13 +138,15 @@ class Core {
   void run_tiered(const riscv::Program& program, std::size_t handoff_index,
                   RunResult& res, const CheckpointOptions* ck,
                   std::vector<Checkpoint>* out, TierStats* stats,
-                  const riscv::DecodedProgram* predecoded = nullptr) {
+                  const riscv::DecodedProgram* predecoded = nullptr,
+                  TierPhaseTimes* phases = nullptr) {
     res.reset();
     mem_.load(program);
     set_decode(program, predecoded);
     fetch_pc_ = riscv::kCodeBase;
     const std::size_t idx =
         std::min(handoff_index, fast_handoff_scan(*decoded_, false));
+    if (phases != nullptr) phases->handoff_index = idx;
     if (idx == 0) {
       if (stats != nullptr) ++stats->fallbacks;
       loop(res, ck, out);
@@ -152,14 +154,23 @@ class Core {
       return;
     }
     if (stats != nullptr) ++stats->fast_runs;
+    if (phases != nullptr) {
+      phases->entered_fast = true;
+      phases->fast_begin = std::chrono::steady_clock::now();
+    }
     const std::uint64_t fast_from = cycle_;
     const FastExit exit = fast_loop(handoff_pc_of(idx), res);
     if (stats != nullptr) stats->fast_cycles += cycle_ - fast_from;
+    if (phases != nullptr) phases->fast_end = std::chrono::steady_clock::now();
     if (exit == FastExit::kHandoff) {
       if (stats != nullptr) ++stats->handoffs;
       // The detailed loop continues on this very core state — the
       // handoff is zero-copy; no checkpoint materialization needed.
       loop(res, ck, out);
+      if (phases != nullptr) {
+        phases->continued_detailed = true;
+        phases->detailed_end = std::chrono::steady_clock::now();
+      }
     } else if (stats != nullptr) {
       ++stats->fast_completions;
     }

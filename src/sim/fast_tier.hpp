@@ -12,6 +12,7 @@
 // to a cold detailed run of the whole program.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -55,6 +56,21 @@ struct TierStats {
   std::uint64_t handoffs = 0;     ///< boundary handoffs to the detailed core
   std::uint64_t fast_completions = 0;  ///< runs that never left the fast tier
   std::uint64_t fallbacks = 0;  ///< handoff at index 0 → pure detailed run
+};
+
+/// Optional wall-clock phase boundaries of a single tiered run, filled
+/// by Simulator::run_tiered when the caller passes a non-null pointer —
+/// the observability span hook (the campaign worker turns these into
+/// fast_tier / detailed trace sub-spans). Clock reads happen only when
+/// requested, so the nullptr path costs nothing; timing never feeds
+/// back into simulation, so results are unaffected either way.
+struct TierPhaseTimes {
+  std::chrono::steady_clock::time_point fast_begin{};
+  std::chrono::steady_clock::time_point fast_end{};
+  std::chrono::steady_clock::time_point detailed_end{};
+  bool entered_fast = false;        ///< fast_begin/fast_end are meaningful
+  bool continued_detailed = false;  ///< detailed_end is meaningful
+  std::size_t handoff_index = 0;    ///< clamped index actually used
 };
 
 /// What Simulator::run_fast_prefix did (test / introspection surface).

@@ -240,6 +240,26 @@ int report_and_exit_code(const core::CampaignResult& result,
                   static_cast<unsigned long long>(ws.handoffs),
                   static_cast<unsigned long long>(ws.tier_fallbacks));
     }
+    // Latency percentiles from the session's metrics registry (log2
+    // histogram estimates; registered unless the spec set metrics=false).
+    const obs::Snapshot snap = session.metrics_snapshot();
+    const auto percentile_row = [&snap](const char* label,
+                                        const char* name) {
+      const obs::HistogramSnapshot* h = snap.histogram(name);
+      if (h == nullptr || h->count == 0) return;
+      std::printf("    %-11s p50 %9.3fms  p95 %9.3fms  p99 %9.3fms"
+                  "  (%llu samples)\n",
+                  label, h->percentile(50) / 1e6, h->percentile(95) / 1e6,
+                  h->percentile(99) / 1e6,
+                  static_cast<unsigned long long>(h->count));
+    };
+    if (snap.histogram("hist/execute_ns") != nullptr) {
+      std::printf("  latency percentiles\n");
+      percentile_row("execute", "hist/execute_ns");
+      percentile_row("queue-wait", "hist/queue_wait_ns");
+      percentile_row("result-wait", "hist/result_wait_ns");
+      percentile_row("iteration", "hist/iter_latency_ns");
+    }
   }
   if (const triage::TriageReport* triaged = session.triage_report()) {
     std::printf("\nTriage (%zu findings, %zu probes, %.3fs)\n",
@@ -308,6 +328,9 @@ const std::vector<FlagDef> kRunFlags = {
     {"--state-interval", true,
      "seconds between cadence state writes (sugar for state_interval=)"},
     {"--resume", true, "resume a campaign from a state FILE"},
+    {"--trace-out", true,
+     "write a Chrome/Perfetto trace of the pipeline to FILE "
+     "(sugar for trace_out=)"},
     {"--dry-run", false, "print the resolved spec and exit"},
     {"--quiet", false, "suppress the progress/finding feed"},
     {"--stats", false, "print per-stage pipeline timing after the campaign"},
@@ -363,6 +386,7 @@ int cmd_run(const Args& args) {
   if (args.has("--state-interval")) {
     spec.set("state_interval", args.get("--state-interval"));
   }
+  if (args.has("--trace-out")) spec.set("trace_out", args.get("--trace-out"));
   spec.validate();
   if (resuming) {
     // Guards the bit-identity contract: only result-neutral keys (jobs,
@@ -841,10 +865,24 @@ int print_reply(const serve::Json& reply) {
   if (const serve::Json* iters = reply.find("iterations")) {
     line += "  iterations=" +
             std::to_string(static_cast<std::uint64_t>(iters->number));
+    // Merged-progress against the budget, when the daemon reports one.
+    if (const serve::Json* budget = reply.find("budget")) {
+      if (budget->number > 0) {
+        line +=
+            "/" + std::to_string(static_cast<std::uint64_t>(budget->number));
+      }
+    }
   }
   if (const serve::Json* vulns = reply.find("vulns")) {
     line += "  vulns=" +
             std::to_string(static_cast<std::uint64_t>(vulns->number));
+  }
+  if (const serve::Json* rate = reply.find("iters_per_sec")) {
+    if (rate->number > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", rate->number);
+      line += std::string("  rate=") + buf + " it/s";
+    }
   }
   if (const serve::Json* detail = reply.find("detail")) {
     line += "  (" + detail->text + ")";
@@ -949,6 +987,32 @@ int cmd_events(const Args& args) {
   return kExitError;
 }
 
+int cmd_metrics(const Args& args) {
+  if (args.positional.size() > 1) {
+    std::fprintf(stderr,
+                 "usage: specure metrics [CAMPAIGN_ID] [--socket PATH]\n");
+    return kExitUsage;
+  }
+  serve::Client client(args.get("--socket", kDefaultSocket));
+  std::string request = "{\"verb\": \"metrics\"";
+  if (!args.positional.empty()) {
+    request += ", \"id\": \"" + serve::escape_json(args.positional[0]) + "\"";
+  }
+  request += "}";
+  const serve::Json reply = client.request(request);
+  if (const serve::Json* error = reply.find("error")) {
+    std::fprintf(stderr, "specure: %s\n", error->text.c_str());
+    return kExitError;
+  }
+  const serve::Json* metrics = reply.find("metrics");
+  if (metrics == nullptr) {
+    std::fprintf(stderr, "specure: daemon reply carried no metrics field\n");
+    return kExitError;
+  }
+  std::fputs(metrics->text.c_str(), stdout);
+  return kExitOk;
+}
+
 int cmd_pause(const Args& args) { return send_id_verb("pause", args); }
 int cmd_resume(const Args& args) { return send_id_verb("resume", args); }
 int cmd_cancel(const Args& args) { return send_id_verb("cancel", args); }
@@ -984,6 +1048,7 @@ const std::vector<CommandDef>& commands() {
       {"serve", &kServeFlags, false, cmd_serve},
       {"submit", &kSubmitFlags, true, cmd_submit},
       {"status", &kClientFlags, false, cmd_status},
+      {"metrics", &kClientFlags, false, cmd_metrics},
       {"events", &kEventsFlags, false, cmd_events},
       {"pause", &kClientFlags, false, cmd_pause},
       {"resume", &kClientFlags, false, cmd_resume},
@@ -997,10 +1062,11 @@ void usage() {
   std::fprintf(
       stderr,
       "specure <run|sweep|triage|presets|fuzz|offline|audit|disasm|serve|"
-      "submit|status|events|pause|resume|cancel|shutdown> [options]\n"
+      "submit|status|metrics|events|pause|resume|cancel|shutdown> [options]\n"
       "  run [SPEC.toml] [--preset NAME] [key=value ...] [--iters N]\n"
       "      [--seed S] [--json F] [--save F] [--vcd-out DIR] [--dry-run]\n"
-      "      [--state-out F] [--state-interval S] [--resume STATE] [--quiet]\n"
+      "      [--state-out F] [--state-interval S] [--resume STATE]\n"
+      "      [--trace-out F] [--quiet]\n"
       "  sweep (--preset NAME | --spec FILE)... [key=value ...]\n"
       "      [--iters N] [--seed S] [--concurrency N] [--json F] [--quiet]\n"
       "  triage REPORT.json|SPEC.toml [--out DIR] [--jobs N] [--json F]\n"
@@ -1017,6 +1083,7 @@ void usage() {
       "      [--state-interval S]   (campaign daemon; resumes its store)\n"
       "  submit [SPEC.toml | --preset NAME] [key=value ...] [--socket PATH]\n"
       "  status [CAMPAIGN_ID] [--socket PATH]\n"
+      "  metrics [CAMPAIGN_ID] [--socket PATH]   (Prometheus text)\n"
       "  events CAMPAIGN_ID [--from N] [--no-follow] [--socket PATH]\n"
       "  pause|resume|cancel CAMPAIGN_ID [--socket PATH]\n"
       "  shutdown [--socket PATH]\n");
