@@ -28,6 +28,18 @@ inline void note(const std::string& text) {
   std::printf("  # %s\n", text.c_str());
 }
 
+/// CMake build type this binary was compiled under (stamped into every
+/// BENCH_*.json): perf numbers from a Debug/RelWithDebInfo build are not
+/// comparable to the committed Release baselines, and the stamp makes a
+/// mis-recorded file self-incriminating.
+inline const char* build_type() {
+#ifdef SPECURE_BUILD_TYPE
+  return SPECURE_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
 /// Process peak RSS in KiB so far — a monotonic high-water mark.
 inline std::size_t peak_rss_kib() {
   struct rusage ru{};
@@ -81,7 +93,8 @@ class BenchJson {
       path_.clear();
       return path_;
     }
-    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"build_type\": \""
+        << build_type() << "\",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       out << (i == 0 ? "" : ",") << "\n    \"" << metrics_[i].first
           << "\": " << metrics_[i].second;

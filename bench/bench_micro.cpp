@@ -3,6 +3,7 @@
 // extraction (both directions), mutation, and LP-coverage accounting.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/coverage_calc.hpp"
 #include "core/mst.hpp"
 #include "core/offline.hpp"
@@ -145,6 +146,59 @@ void BM_FastAluDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FastAluDispatch)->Arg(1)->Arg(0);
 
+void BM_CaptureCycle(benchmark::State& state) {
+  // The per-cycle trace-capture kernel, isolated: a dense sweep records
+  // all ~314 signals per cycle (arg0 = 0, the pre-dirty-set cost model),
+  // while record_dirty walks only the K marked ids (arg0 = 1). In both
+  // shapes the same K signals actually change value each cycle, so the
+  // event streams are identical — the benchmark measures pure sweep
+  // overhead, which is what the dirty-set engine removes.
+  const auto& sim = shared_simulator();
+  const std::size_t n = sim.signal_descs().size();
+  const bool dirty_walk = state.range(0) != 0;
+  const auto k = static_cast<std::size_t>(state.range(1));
+  std::vector<std::uint64_t> words((n + 63) / 64, 0);
+  std::vector<std::size_t> changing;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t id = i * (n / k);
+    words[id / 64] |= std::uint64_t{1} << (id % 64);
+    changing.push_back(id);
+  }
+  snapshot::Trace trace(&sim.signal_db());
+  std::uint64_t cycle = 0;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    if (cycle % 8192 == 0) {  // bound trace growth across iterations
+      trace.reset();
+      trace.begin_cycle(cycle++);
+      for (std::size_t i = 0; i < n; ++i) {
+        trace.record(static_cast<snapshot::SignalId>(i), 0);
+      }
+      continue;
+    }
+    trace.begin_cycle(cycle++);
+    ++v;
+    if (dirty_walk) {
+      trace.record_dirty(words, [v](std::size_t) { return v; });
+    } else {
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool changed = next < changing.size() && changing[next] == i;
+        if (changed) ++next;
+        trace.record(static_cast<snapshot::SignalId>(i), changed ? v : 0);
+      }
+    }
+  }
+  state.SetLabel(dirty_walk ? "dirty" : "dense");
+  state.counters["signals_walked"] =
+      static_cast<double>(dirty_walk ? k : n);
+}
+BENCHMARK(BM_CaptureCycle)
+    ->Args({0, 17})
+    ->Args({1, 8})
+    ->Args({1, 17})
+    ->Args({1, 32});
+
 void BM_LpCoverageUpdate(benchmark::State& state) {
   const auto off = core::run_offline_phase(sim::CoreConfig{});
   util::Rng rng(6);
@@ -160,4 +214,15 @@ BENCHMARK(BM_LpCoverageUpdate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the emitted JSON context carries the
+// *application* build type next to google-benchmark's own
+// library_build_type (the library can be a debug build while the bench
+// code is Release, or vice versa — both matter for comparability).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("specure_build_type", bench::build_type());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -139,6 +139,13 @@ const std::vector<KeyDef>& key_table() {
       SPEC_U64("mwait_timer_start", "core", core.mwait_timer_start),
       SPEC_BOOL("mwait", "core", core.vuln.mwait_emulation),
       SPEC_BOOL("zenbleed", "core", core.vuln.zenbleed_emulation),
+      // Debug/differential switch: record the dense reference trace next
+      // to the delta trace. Workers drop to the cold detailed path
+      // (checkpoint + fast tier bypassed), so campaign results must be
+      // identical with it on or off — CI's capture-differential smoke
+      // diffs the two reports. Deliberately NOT result-neutral for
+      // serve's dedup key: a dense run is a different execution plan.
+      SPEC_BOOL("dense_trace", "core", core.record_dense_trace),
       // -- fuzzer ----------------------------------------------------------
       SPEC_BOOL("special_seeds", "fuzzer", fuzzer.use_special_seeds),
       SPEC_SIZE("random_seed_count", "fuzzer", fuzzer.random_seed_count),

@@ -40,35 +40,54 @@ Prediction BranchPredictor::predict_indirect(std::uint64_t pc) const {
 
 void BranchPredictor::update_branch(std::uint64_t pc, bool taken,
                                     std::uint64_t target) {
-  std::uint8_t& ctr = pht_[pht_index(pc)];
+  const std::size_t pi = pht_index(pc);
+  std::uint8_t& ctr = pht_[pi];
   if (taken && ctr < 3) ++ctr;
   if (!taken && ctr > 0) --ctr;
   if (taken) {
     const std::size_t bi = btb_index(pc);
     btb_tag_[bi] = pc;
     btb_target_[bi] = target;
+    if (dirty_ != nullptr) {
+      dirty_->mark(btb_base_ + 2 * bi);
+      dirty_->mark(btb_base_ + 2 * bi + 1);
+    }
   }
   ghist_ = ((ghist_ << 1) | (taken ? 1 : 0)) & util::mask(cfg_.ghist_bits);
+  if (dirty_ != nullptr) {
+    dirty_->mark(ghist_id_);
+    dirty_->mark(pht_base_ + pi / 32);  // 32 packed counters per word
+  }
 }
 
 void BranchPredictor::update_indirect(std::uint64_t pc, std::uint64_t target) {
   const std::size_t bi = btb_index(pc);
   btb_tag_[bi] = pc;
   btb_target_[bi] = target;
+  if (dirty_ != nullptr) {
+    dirty_->mark(btb_base_ + 2 * bi);
+    dirty_->mark(btb_base_ + 2 * bi + 1);
+  }
 }
 
 void BranchPredictor::ras_push(std::uint64_t return_pc) {
   if (ras_top_ < ras_.size()) {
+    if (dirty_ != nullptr) {
+      dirty_->mark(ras_base_ + ras_top_);
+      dirty_->mark(ras_top_id_);
+    }
     ras_[ras_top_++] = return_pc;
   } else {
     // Overflow: shift (oldest entry lost), stack stays full.
     for (std::size_t i = 1; i < ras_.size(); ++i) ras_[i - 1] = ras_[i];
     ras_.back() = return_pc;
+    if (dirty_ != nullptr) dirty_->mark_range(ras_base_, ras_.size());
   }
 }
 
 std::uint64_t BranchPredictor::ras_pop() {
   if (ras_top_ == 0) return 0;
+  if (dirty_ != nullptr) dirty_->mark(ras_top_id_);
   return ras_[--ras_top_];
 }
 

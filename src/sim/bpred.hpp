@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/dirty_set.hpp"
 
 namespace specure::sim {
 
@@ -32,6 +33,21 @@ struct BpredState {
 class BranchPredictor {
  public:
   explicit BranchPredictor(const CoreConfig& cfg);
+
+  /// Attach the core's dirty set (capture engine contract). The PHT is
+  /// exposed to snapshots as packed words of 32 2-bit counters, so a
+  /// counter update dirties word `pht_index / 32`; BTB entries interleave
+  /// as (tag_i, target_i) pairs at `btb_base + 2 * i`.
+  void bind_dirty(DirtySet* dirty, std::size_t ghist_id, std::size_t pht_base,
+                  std::size_t btb_base, std::size_t ras_base,
+                  std::size_t ras_top_id) {
+    dirty_ = dirty;
+    ghist_id_ = ghist_id;
+    pht_base_ = pht_base;
+    btb_base_ = btb_base;
+    ras_base_ = ras_base;
+    ras_top_id_ = ras_top_id;
+  }
 
   /// Predict a conditional branch at `pc`.
   Prediction predict_branch(std::uint64_t pc) const;
@@ -65,6 +81,13 @@ class BranchPredictor {
  private:
   std::size_t pht_index(std::uint64_t pc) const;
   std::size_t btb_index(std::uint64_t pc) const;
+
+  DirtySet* dirty_ = nullptr;
+  std::size_t ghist_id_ = 0;
+  std::size_t pht_base_ = 0;
+  std::size_t btb_base_ = 0;
+  std::size_t ras_base_ = 0;
+  std::size_t ras_top_id_ = 0;
 
   const CoreConfig& cfg_;
   std::uint64_t ghist_ = 0;

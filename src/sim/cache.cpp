@@ -55,6 +55,7 @@ void Dcache::fill(std::uint64_t addr) {
 bool Dcache::load(std::uint64_t addr, unsigned size, std::uint64_t& value) {
   value = mem_.read(addr, size);
   if (!mem_.data_mapped(addr, size)) return true;  // bypass: no cache effect
+  mark_set(addr);  // even a hit rotates the LRU cursor
   if (lookup(addr) != nullptr) {
     if (hook_) hook_(line_base(addr), DcacheEvent::kHit);
     return true;
@@ -66,6 +67,7 @@ bool Dcache::load(std::uint64_t addr, unsigned size, std::uint64_t& value) {
 void Dcache::store(std::uint64_t addr, unsigned size, std::uint64_t value) {
   mem_.write(addr, size, value);
   if (!mem_.data_mapped(addr, size)) return;
+  mark_set(addr);
   Line* line = lookup(addr);
   if (line == nullptr) {
     fill(addr);  // fill() digests the already-updated memory

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/dirty_set.hpp"
 #include "sim/memory.hpp"
 
 namespace specure::sim {
@@ -39,6 +40,19 @@ class Dcache {
   /// Notifies on every state change of a line: (line_base_addr, event).
   using LineChangeHook = std::function<void(std::uint64_t, DcacheEvent)>;
   void set_line_change_hook(LineChangeHook hook) { hook_ = std::move(hook); }
+
+  /// Attach the core's dirty set. Any mapped access can rotate the set's
+  /// LRU (even a hit) and a miss fills/evicts a way, so load()/store()
+  /// mark the accessed set's whole signal block: `set_stride` ids
+  /// (ways × valid/tag/data + lru) starting at `dcache_base +
+  /// set * set_stride`. Conservative per-set marking is exact — unchanged
+  /// values record no events.
+  void bind_dirty(DirtySet* dirty, std::size_t dcache_base,
+                  std::size_t set_stride) {
+    dirty_ = dirty;
+    dcache_base_ = dcache_base;
+    set_stride_ = set_stride;
+  }
 
   /// Access for a load. Returns true on hit; on miss the line is filled
   /// (and an LRU victim possibly evicted). Always reads the data through
@@ -78,12 +92,21 @@ class Dcache {
   std::uint64_t compute_digest(std::uint64_t line_addr) const;
   Line* lookup(std::uint64_t addr);
   void fill(std::uint64_t addr);
+  void mark_set(std::uint64_t addr) {
+    if (dirty_ != nullptr) {
+      dirty_->mark_range(dcache_base_ + set_index(addr) * set_stride_,
+                         set_stride_);
+    }
+  }
 
   const CoreConfig& cfg_;
   Memory& mem_;
   std::vector<Line> lines_;      ///< sets * ways, row-major by set
   std::vector<std::uint8_t> lru_;  ///< way index of LRU entry per set
   LineChangeHook hook_;
+  DirtySet* dirty_ = nullptr;
+  std::size_t dcache_base_ = 0;
+  std::size_t set_stride_ = 0;
 };
 
 }  // namespace specure::sim

@@ -26,6 +26,7 @@ std::size_t Checkpoint::memory_bytes() const {
 
 Simulator::Simulator(CoreConfig cfg) : cfg_(cfg) {
   descs_ = describe_signals(cfg_);
+  layout_ = signal_layout(descs_, cfg_);
   for (const auto& d : descs_) {
     db_.add(d.name, d.width, d.cls, d.is_register);
   }
@@ -44,7 +45,7 @@ RunResult Simulator::run(const riscv::Program& program) const {
 }
 
 void Simulator::run(const riscv::Program& program, RunResult& out) const {
-  Core core(cfg_, descs_, db_, decode_scratch_);
+  Core core(cfg_, descs_, layout_, db_, decode_scratch_);
   core.run(program, out, nullptr, nullptr);
 }
 
@@ -58,7 +59,7 @@ void Simulator::run(const riscv::Program& program,
         "reference recorder has no resume prefix); use the cold path");
   }
   checkpoints.clear();
-  Core core(cfg_, descs_, db_, decode_scratch_);
+  Core core(cfg_, descs_, layout_, db_, decode_scratch_);
   core.run(program, out, &options, &checkpoints);
 }
 
@@ -71,11 +72,11 @@ void Simulator::run_tiered(const riscv::Program& program,
     // The dense reference recorder needs the full per-cycle sweep; take
     // the detailed path (this is the debug-only differential config).
     if (stats != nullptr) ++stats->fallbacks;
-    Core core(cfg_, descs_, db_, decode_scratch_);
+    Core core(cfg_, descs_, layout_, db_, decode_scratch_);
     core.run(program, out, nullptr, nullptr, predecoded);
     return;
   }
-  Core core(cfg_, descs_, db_, decode_scratch_);
+  Core core(cfg_, descs_, layout_, db_, decode_scratch_);
   core.run_tiered(program, handoff_index, out, nullptr, nullptr, stats,
                   predecoded, phases);
 }
@@ -93,7 +94,7 @@ void Simulator::run_tiered(const riscv::Program& program,
         "reference recorder has no resume prefix); use the cold path");
   }
   checkpoints.clear();
-  Core core(cfg_, descs_, db_, decode_scratch_);
+  Core core(cfg_, descs_, layout_, db_, decode_scratch_);
   core.run_tiered(program, handoff_index, out, &options, &checkpoints, stats,
                   predecoded, phases);
 }
@@ -108,7 +109,7 @@ FastPrefixOutcome Simulator::run_fast_prefix(const riscv::Program& program,
         "run_fast_prefix does not support record_dense_trace; use the "
         "cold path");
   }
-  Core core(cfg_, descs_, db_, decode_scratch_);
+  Core core(cfg_, descs_, layout_, db_, decode_scratch_);
   return core.run_fast_prefix(program, handoff_index, out, boundary, stats);
 }
 
@@ -140,7 +141,7 @@ void Simulator::run_from(const Checkpoint& checkpoint,
   out.cycles = 0;
   out.halted_clean = false;
   out.final_data.clear();
-  Core core(cfg_, descs_, db_, decode_scratch_);
+  Core core(cfg_, descs_, layout_, db_, decode_scratch_);
   core.resume(checkpoint, program, out);
 }
 

@@ -196,6 +196,9 @@ class Simulator {
  private:
   CoreConfig cfg_;
   std::vector<SigDesc> descs_;
+  /// Flat-id block offsets of descs_ (validated once at construction) —
+  /// what the per-component dirty-set hooks index by.
+  SignalLayout layout_;
   snapshot::SignalDb db_;
   /// Per-program decode buffer, reused across runs (capacity persists).
   /// Simulator stays logically const across runs but is NOT safe for

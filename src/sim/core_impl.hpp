@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/core.hpp"
+#include "sim/dirty_set.hpp"
 #include "sim/fast_tier.hpp"
 #include "util/bits.hpp"
 
@@ -95,9 +96,11 @@ inline std::uint64_t extend_load(Op op, std::uint64_t raw) {
 class Core {
  public:
   Core(const CoreConfig& cfg, const std::vector<SigDesc>& descs,
-       const snapshot::SignalDb& db, riscv::DecodedProgram& decode_buf)
+       const SignalLayout& layout, const snapshot::SignalDb& db,
+       riscv::DecodedProgram& decode_buf)
       : cfg_(cfg),
         descs_(descs),
+        layout_(layout),
         db_(db),
         bp_(cfg),
         csr_(cfg),
@@ -111,6 +114,27 @@ class Core {
     dcache_.set_line_change_hook([this](std::uint64_t line, DcacheEvent ev) {
       on_cache_line_event(line, ev);
     });
+    // Dirty-set capture engine: components mark the signal ids they write;
+    // capture() re-records only those (plus the always-dirty base set).
+    dirty_.init(descs_.size());
+    // Base set — signals derived or (re)written unconditionally every
+    // cycle: the fetch PC, the 12-signal ROB/pulse block (cursors, the
+    // oldest-unsafe window view, the brupdate and commit pulses) and the
+    // exec/LSU wire block (incl. the tainted_access pulse). begin_cycle()
+    // clears the pulses and the window view follows the ROB scan, so no
+    // single component can own their marks.
+    dirty_.base_mark(layout_.fetch_pc);
+    for (std::size_t k = 0; k < 12; ++k) dirty_.base_mark(layout_.rob_head + k);
+    for (std::size_t k = 0; k < 4; ++k) {
+      dirty_.base_mark(layout_.exec_result + k);
+    }
+    rename_.bind_dirty(&dirty_, layout_.maptable, layout_.freecount,
+                       layout_.prf, layout_.rfx);
+    csr_.bind_dirty(&dirty_, layout_.csr);
+    bp_.bind_dirty(&dirty_, layout_.bp_ghist, layout_.bp_pht, layout_.btb,
+                   layout_.ras, layout_.ras_top);
+    dcache_.bind_dirty(&dirty_, layout_.dcache, layout_.dcache_set_stride);
+    tlb_.bind_dirty(&dirty_, layout_.tlb);
   }
 
   /// Cold run, optionally emitting resume checkpoints.
@@ -390,6 +414,7 @@ class Core {
     exec_result_ = s.exec_result;
     lsu_addr_ = s.lsu_addr;
     lsu_load_data_ = s.lsu_load_data;
+    unsafe_count_ = count_unsafe();
   }
 
   void push_checkpoint(const CheckpointOptions& opt,
@@ -435,11 +460,19 @@ class Core {
     return false;
   }
 
-  bool any_unsafe() const {
+  /// O(1) open-window test: unsafe_count_ counts ROB entries with
+  /// (valid && unsafe && !resolved && !squashed) — incremented at
+  /// branch/JALR issue, decremented on resolve and on squash-release,
+  /// recomputed on restore. It gates the per-cycle oldest_unsafe() scan,
+  /// which otherwise ran O(rob) even with no window open.
+  bool any_unsafe() const { return unsafe_count_ != 0; }
+
+  unsigned count_unsafe() const {
+    unsigned n = 0;
     for (const auto& e : rob_) {
-      if (e.valid && e.unsafe && !e.resolved && !e.squashed) return true;
+      if (e.valid && e.unsafe && !e.resolved && !e.squashed) ++n;
     }
-    return false;
+    return n;
   }
 
   const RobEntry* oldest_unsafe() const {
@@ -549,6 +582,7 @@ class Core {
   void resolve_control(RobEntry& e, RunResult& res) {
     e.resolved = true;
     e.done = true;
+    if (e.unsafe) --unsafe_count_;
     brupdate_valid_ = true;
     e.mispredicted = e.actual_next != e.pred_next;
     res.coverage.branch("rob.resolve_mispredict", e.mispredicted);
@@ -588,6 +622,7 @@ class Core {
       if (e.unsafe && !e.resolved) {
         rename_.release_checkpoint(entry_slot(e));
         e.resolved = true;
+        --unsafe_count_;
       }
       if (e.writes_rd && e.dec.rd != 0) {
         if (!suppress) {
@@ -782,6 +817,7 @@ class Core {
         e.pc + static_cast<std::uint64_t>(e.dec.imm);
     e.is_ctrl = true;
     e.unsafe = true;
+    ++unsafe_count_;
     e.pred_taken = pred.taken;
     e.pred_next = pred.taken ? taken_target : e.pc + 4;
     e.actual_taken = branch_taken(e.dec.op, a, b);
@@ -804,6 +840,7 @@ class Core {
     e.result = e.pc + 4;
     e.is_ctrl = true;
     e.unsafe = true;
+    ++unsafe_count_;
     e.actual_next = (base + static_cast<std::uint64_t>(e.dec.imm)) & ~1ULL;
     // Return prediction via RAS; other indirects via BTB; fall back to +4.
     std::uint64_t predicted = e.pc + 4;
@@ -878,28 +915,54 @@ class Core {
   }
 
   // ----------------------------------------------------------- snapshot --
+  /// Per-cycle trace capture, shared by the detailed loop and the fast
+  /// tier. Delta-native recording: each recorded signal is compared
+  /// against the trace's live previous-value array and stored only as a
+  /// (cycle, signal, value) change event; toggle coverage falls out of
+  /// the same comparison.
+  ///
+  /// The hot (non-dense) path walks only the dirty set — the signal ids
+  /// components marked as written this cycle plus the always-dirty base
+  /// set — instead of sweeping all ~300 schema signals. A conservative
+  /// superset dirty set is exact: re-recording an unchanged value appends
+  /// no event, so the stream is byte-identical to a full sweep as long as
+  /// every signal that DID change is marked (the component author's
+  /// obligation, see ARCHITECTURE.md). The first captured tick seeds the
+  /// live array with a full sweep; a checkpoint-resumed run needs no such
+  /// reseed because fork_into reconstructed the live array to exactly the
+  /// restored CoreState's values, and the resumed cycle's own marks cover
+  /// everything it mutates from there.
   void capture(RunResult& res) {
-    // Delta-native recording: compute each signal once and hand it to the
-    // trace, which detects changes against its live previous-value array
-    // and stores only the (cycle, signal, value) events. Toggle coverage
-    // falls out of the same comparison (record() returns the toggled-bit
-    // count), so no full snapshot is ever materialized on the hot path.
     const bool first = res.trace.empty();
     res.trace.begin_cycle(cycle_);
-    const RobEntry* spec = oldest_unsafe();
-    std::uint64_t toggles = 0;
-    snapshot::Snapshot dense;
+    const RobEntry* spec = unsafe_count_ != 0 ? oldest_unsafe() : nullptr;
     if (res.dense_trace) {
+      // Dense-reference path (differential suite only): the oracle needs
+      // every signal's value, so the full sweep — and the per-cycle
+      // Snapshot materialization — live here, off the hot path.
+      snapshot::Snapshot dense;
       dense.cycle = cycle_;
       dense.values.resize(descs_.size());
+      std::uint64_t toggles = 0;
+      for (std::size_t i = 0; i < descs_.size(); ++i) {
+        const std::uint64_t v = value_of(descs_[i], spec);
+        toggles += res.trace.record(static_cast<snapshot::SignalId>(i), v);
+        dense.values[i] = v;
+      }
+      if (!first) res.coverage.toggles(toggles);
+      res.dense_trace->push(std::move(dense));
+    } else if (first) {
+      for (std::size_t i = 0; i < descs_.size(); ++i) {
+        res.trace.record(static_cast<snapshot::SignalId>(i),
+                         value_of(descs_[i], spec));
+      }
+    } else {
+      const std::uint64_t toggles = res.trace.record_dirty(
+          dirty_.words(),
+          [this, spec](std::size_t id) { return value_of(descs_[id], spec); });
+      res.coverage.toggles(toggles);
     }
-    for (std::size_t i = 0; i < descs_.size(); ++i) {
-      const std::uint64_t v = value_of(descs_[i], spec);
-      toggles += res.trace.record(static_cast<snapshot::SignalId>(i), v);
-      if (res.dense_trace) dense.values[i] = v;
-    }
-    if (!first) res.coverage.toggles(toggles);
-    if (res.dense_trace) res.dense_trace->push(std::move(dense));
+    dirty_.reset_to_base();
   }
 
   std::uint64_t value_of(const SigDesc& d, const RobEntry* spec) const {
@@ -961,43 +1024,21 @@ class Core {
 
   // ----------------------------------------------------------- fast tier --
   // Defined in fast_tier.cpp. The fast tier runs the same per-cycle stage
-  // order as loop() over the same state, restricted to straight-line
-  // ALU/load/store/trap code in which no ROB entry can become unsafe —
-  // which is what lets it skip the squash/resolve logic, the per-cycle
-  // oldest-unsafe scans, the execute-stage sort, and (the big one) the
-  // full per-cycle signal sweep: only signals a stage actually touched
-  // are re-recorded (a conservative dirty set is exact, because the
-  // delta-native Trace only appends events on value change).
+  // order as loop() over the same state — including the shared dirty-set
+  // capture() — restricted to straight-line ALU/load/store/trap code in
+  // which no ROB entry can become unsafe, which is what lets it skip the
+  // squash/resolve logic and the execute-stage sort.
   enum class FastExit { kHandoff, kDone };
 
   /// Function-pointer dispatch: one issue handler per opcode.
   using FastIssueFn = void (*)(Core&, RobEntry&, std::uint64_t, std::uint64_t,
                                RunResult&);
 
-  /// Positions of the fast tier's dirty signals in the flat schema.
-  struct SigIndex {
-    std::size_t fetch_pc = 0;
-    std::size_t rfx = 0;        ///< base of the 32 architectural registers
-    std::size_t maptable = 0;   ///< base of the 32 map-table entries
-    std::size_t freecount = 0;
-    std::size_t prf = 0;        ///< base of the physical register file
-    std::size_t rob_head = 0;   ///< head/tail/count are contiguous
-    std::size_t commit_valid = 0;  ///< valid/pc/inst/rd are contiguous
-    std::size_t dcache = 0;     ///< base of set 0; sets are contiguous
-    std::size_t dcache_set_stride = 0;  ///< ways * (valid,tag,data) + lru
-    std::size_t tlb = 0;        ///< base; entries are (valid,vpn,ppn)
-    std::size_t tlb_signals = 0;
-    std::size_t exec_result = 0;  ///< exec/lsu_addr/load_data contiguous
-  };
-
-  void fast_init();
   FastExit fast_loop(std::uint64_t handoff_pc, RunResult& res);
   void fast_retire(RunResult& res);
   void fast_commit(RobEntry& e, RunResult& res);
   void fast_execute();
   void fast_issue(RunResult& res);
-  void fast_capture(RunResult& res);
-  void fast_allocate_rd(RobEntry& e);
   static void fast_issue_alu(Core& c, RobEntry& e, std::uint64_t a,
                              std::uint64_t b);
   static void fx_alu_rr(Core& c, RobEntry& e, std::uint64_t v1,
@@ -1010,14 +1051,9 @@ class Core {
                        std::uint64_t v2, RunResult& res);
   static const FastIssueFn* fast_dispatch();
 
-  void mark(std::size_t id) {
-    dirty_words_[id >> 6] |= std::uint64_t{1} << (id & 63);
-  }
-  void mark_dcache_set(std::uint64_t addr);
-  void mark_tlb_all();
-
   const CoreConfig& cfg_;
   const std::vector<SigDesc>& descs_;
+  const SignalLayout& layout_;
   const snapshot::SignalDb& db_;
 
   Memory mem_;
@@ -1031,6 +1067,7 @@ class Core {
   unsigned rob_head_ = 0;
   unsigned rob_tail_ = 0;
   unsigned rob_count_ = 0;
+  unsigned unsafe_count_ = 0;  ///< open speculative windows (see any_unsafe)
   std::uint64_t seq_ = 0;
 
   std::vector<bool> prf_ready_;
@@ -1046,10 +1083,9 @@ class Core {
   const std::vector<DecodedInst>* decoded_ = nullptr;  ///< active decode
   DecodedInst scratch_dec_;            ///< off-image decode_at() result
 
-  // Fast-tier state (initialized by fast_init on first tiered run).
-  SigIndex sig_;
-  std::vector<std::uint64_t> dirty_words_;       ///< this cycle's dirty set
-  std::vector<std::uint64_t> base_dirty_words_;  ///< always-dirty signals
+  /// The capture engine's change list: components mark into it as they
+  /// write (bound in the constructor), capture() drains it every cycle.
+  DirtySet dirty_;
 
   // Pulse / bus state for snapshots.
   bool brupdate_valid_ = false;

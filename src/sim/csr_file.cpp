@@ -31,27 +31,35 @@ void CsrFile::write(std::uint16_t addr, std::uint64_t value) {
   const std::size_t i = index_of(addr);
   if (i >= values_.size()) return;
   values_[i] = value;
+  mark(i);
   if (addr == csr::kMwaitEn && cfg_.vuln.mwait_emulation && value != 0) {
-    values_[index_of(csr::kMwaitTimer)] = cfg_.mwait_timer_start;
+    const std::size_t timer = index_of(csr::kMwaitTimer);
+    values_[timer] = cfg_.mwait_timer_start;
+    mark(timer);
   }
 }
 
 void CsrFile::tick() {
   if (!cfg_.vuln.mwait_emulation) return;
   if (values_[index_of(csr::kMwaitEn)] == 0) return;
-  std::uint64_t& timer = values_[index_of(csr::kMwaitTimer)];
+  const std::size_t ti = index_of(csr::kMwaitTimer);
+  std::uint64_t& timer = values_[ti];
   if (timer > 1) {
     --timer;
+    mark(ti);
   } else if (timer == 0) {
     // Paper: "If the timer reaches zero, it is set to one" — the wake flag.
     timer = 1;
+    mark(ti);
   }
 }
 
 void CsrFile::on_monitored_line_change() {
   if (!cfg_.vuln.mwait_emulation) return;
   if (values_[index_of(csr::kMwaitEn)] == 0) return;
-  values_[index_of(csr::kMwaitTimer)] = 0;
+  const std::size_t ti = index_of(csr::kMwaitTimer);
+  values_[ti] = 0;
+  mark(ti);
 }
 
 bool CsrFile::monitoring(std::uint64_t line_base, unsigned line_bytes) const {

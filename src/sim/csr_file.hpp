@@ -13,6 +13,7 @@
 
 #include "riscv/isa.hpp"
 #include "sim/config.hpp"
+#include "sim/dirty_set.hpp"
 
 namespace specure::sim {
 
@@ -24,6 +25,16 @@ struct CsrState {
 class CsrFile {
  public:
   explicit CsrFile(const CoreConfig& cfg);
+
+  /// Attach the core's dirty set; `csr_base` is the flat id of CSR index
+  /// 0 (the block is contiguous in kImplemented order). Every mutation —
+  /// write(), the tick() countdown, the monitored-line clear — marks the
+  /// touched CSR's id. Null until bound (the constructor-time reset()
+  /// runs unbound, which is fine: the first capture sweeps everything).
+  void bind_dirty(DirtySet* dirty, std::size_t csr_base) {
+    dirty_ = dirty;
+    csr_base_ = csr_base;
+  }
 
   /// Back to power-on state (fresh values + MISA), so a CsrFile can be
   /// reused across runs without reconstructing — the class holds its
@@ -59,9 +70,14 @@ class CsrFile {
 
  private:
   std::size_t index_of(std::uint16_t addr) const;
+  void mark(std::size_t index) {
+    if (dirty_ != nullptr) dirty_->mark(csr_base_ + index);
+  }
 
   const CoreConfig& cfg_;
   std::array<std::uint64_t, riscv::csr::kImplemented.size()> values_{};
+  DirtySet* dirty_ = nullptr;
+  std::size_t csr_base_ = 0;
 };
 
 }  // namespace specure::sim

@@ -5,22 +5,22 @@
 // order as Core::loop() on the same component state, restricted to the
 // op set where speculation provably cannot arm. What it elides — and
 // where the speedup comes from — is everything that exists only because
-// of speculation or because the signal sweep cannot know what changed:
+// of speculation:
 //
-//   * capture: only signals a stage actually touched this cycle are
-//     re-recorded. The delta-native Trace appends an event only when a
-//     value changed, so skipping provably-unchanged signals produces a
-//     byte-identical event stream (a conservative superset dirty set is
-//     exact, not approximate).
 //   * execute: in-order allocation with no squashes means ROB ring order
 //     from head IS ascending seq order — no per-cycle vector + sort.
 //   * no unsafe-entry scans (nothing in the prefix can be unsafe), no
 //     control-resolution, no squash walks.
 //   * issue dispatches through a per-opcode function-pointer table
 //     instead of the nested format/op switches.
+//
+// Capture is NOT tier-specific anymore: both tiers share Core::capture()
+// and its dirty-set engine (the components mark what they write; the
+// trace re-records only that), so the handoff needs no capture-state
+// reconciliation — the dirty set simply keeps accumulating across the
+// boundary.
 
 #include <array>
-#include <bit>
 
 #include "sim/core_impl.hpp"
 
@@ -109,89 +109,9 @@ std::uint64_t fast_alu_reference(const riscv::DecodedInst& d, std::uint64_t a,
 
 namespace detail {
 
-void Core::fast_init() {
-  // Locate the dirty-set signal blocks in the flat schema once per run.
-  bool have_rfx = false, have_map = false, have_prf = false, have_dc = false,
-       have_tlb = false;
-  for (std::size_t i = 0; i < descs_.size(); ++i) {
-    switch (descs_[i].kind) {
-      case SigKind::kFetchPc: sig_.fetch_pc = i; break;
-      case SigKind::kRfX:
-        if (!have_rfx) { sig_.rfx = i; have_rfx = true; }
-        break;
-      case SigKind::kMapTable:
-        if (!have_map) { sig_.maptable = i; have_map = true; }
-        break;
-      case SigKind::kFreeCount: sig_.freecount = i; break;
-      case SigKind::kPrf:
-        if (!have_prf) { sig_.prf = i; have_prf = true; }
-        break;
-      case SigKind::kRobHead: sig_.rob_head = i; break;
-      case SigKind::kCommitValid: sig_.commit_valid = i; break;
-      case SigKind::kDcValid:
-        if (!have_dc) { sig_.dcache = i; have_dc = true; }
-        break;
-      case SigKind::kTlbValid:
-        if (!have_tlb) { sig_.tlb = i; have_tlb = true; }
-        break;
-      case SigKind::kExecResult: sig_.exec_result = i; break;
-      default: break;
-    }
-  }
-  sig_.dcache_set_stride = std::size_t{3} * cfg_.dcache_ways + 1;
-  sig_.tlb_signals = std::size_t{3} * cfg_.tlb_entries;
-
-  const std::size_t words = (descs_.size() + 63) / 64;
-  base_dirty_words_.assign(words, 0);
-  dirty_words_.assign(words, 0);
-  // Signals written (or cleared) unconditionally every cycle: the fetch
-  // PC, the ROB cursors, the commit pulse group, and the persistent
-  // exec/LSU buses. Everything else is event-driven.
-  const auto base = [this](std::size_t id) {
-    base_dirty_words_[id >> 6] |= std::uint64_t{1} << (id & 63);
-  };
-  base(sig_.fetch_pc);
-  base(sig_.rob_head);      // kRobHead
-  base(sig_.rob_head + 1);  // kRobTail
-  base(sig_.rob_head + 2);  // kRobCount
-  for (std::size_t k = 0; k < 4; ++k) base(sig_.commit_valid + k);
-  base(sig_.exec_result);      // kExecResult
-  base(sig_.exec_result + 1);  // kLsuAddr
-  base(sig_.exec_result + 2);  // kLsuLoadData
-  std::copy(base_dirty_words_.begin(), base_dirty_words_.end(),
-            dirty_words_.begin());
-}
-
-void Core::mark_dcache_set(std::uint64_t addr) {
-  // Any mapped access rotates the set's LRU even on a hit, and a miss
-  // fills/evicts a way — mark the whole set block (ways × valid/tag/data
-  // plus the LRU word). Unmapped accesses bypass the cache entirely;
-  // marking is still safe (unchanged values record no event).
-  const std::size_t set = static_cast<std::size_t>(
-      (addr / cfg_.dcache_line_bytes) % cfg_.dcache_sets);
-  const std::size_t from = sig_.dcache + set * sig_.dcache_set_stride;
-  for (std::size_t k = 0; k < sig_.dcache_set_stride; ++k) mark(from + k);
-}
-
-void Core::mark_tlb_all() {
-  for (std::size_t k = 0; k < sig_.tlb_signals; ++k) mark(sig_.tlb + k);
-}
-
-void Core::fast_allocate_rd(RobEntry& e) {
-  allocate_rd(e);
-  if (e.writes_rd) {
-    mark(sig_.maptable + e.dec.rd);
-    mark(sig_.freecount);
-    mark(sig_.rfx + e.dec.rd);  // arch rd now reads the new physical reg
-    // allocate() seeds prf[new_phys] with the old mapping's contents so
-    // the architectural view never exposes stale data — a PRF write.
-    mark(sig_.prf + e.new_phys);
-  }
-}
-
 void Core::fast_issue_alu(Core& c, RobEntry& e, std::uint64_t a,
                           std::uint64_t b) {
-  c.fast_allocate_rd(e);
+  c.allocate_rd(e);
   e.result = kAluTable[static_cast<std::size_t>(e.dec.op)](e.dec, a, b);
   if (e.dec.op == Op::kAuipc) {
     e.result = e.pc + static_cast<std::uint64_t>(e.dec.imm);
@@ -220,12 +140,11 @@ void Core::fx_alu_ri(Core& c, RobEntry& e, std::uint64_t v1, std::uint64_t,
 
 void Core::fx_load(Core& c, RobEntry& e, std::uint64_t v1, std::uint64_t,
                    RunResult& res) {
-  c.fast_allocate_rd(e);
+  c.allocate_rd(e);
   const std::uint64_t va = v1 + static_cast<std::uint64_t>(e.dec.imm);
   std::uint64_t pa = va;
   const bool tlb_hit = c.tlb_.translate(va, pa);
   res.coverage.branch("tlb.hit", tlb_hit);
-  if (!tlb_hit) c.mark_tlb_all();  // miss fills the round-robin victim
   c.lsu_addr_ = pa;
   e.mem_addr = pa;
   e.mem_size = riscv::access_size(e.dec.op);
@@ -233,7 +152,6 @@ void Core::fx_load(Core& c, RobEntry& e, std::uint64_t v1, std::uint64_t,
   const bool hit = c.dcache_.load(pa, e.mem_size, raw);
   res.coverage.branch("dcache.hit", hit);
   res.coverage.fsm("dcache.state", hit ? 0 : 1);
-  c.mark_dcache_set(pa);
   c.lsu_load_data_ = raw;
   e.result = extend_load(e.dec.op, raw);
   e.result_tainted = false;  // in_window is provably false in the prefix
@@ -248,7 +166,6 @@ void Core::fx_store(Core& c, RobEntry& e, std::uint64_t v1, std::uint64_t v2,
   std::uint64_t pa = va;
   const bool tlb_hit = c.tlb_.translate(va, pa);
   res.coverage.branch("tlb.hit", tlb_hit);
-  if (!tlb_hit) c.mark_tlb_all();
   c.lsu_addr_ = pa;
   e.is_store = true;
   e.mem_addr = pa;
@@ -334,8 +251,6 @@ void Core::fast_execute() {
       prf_ready_[e.new_phys] = true;
       prf_taint_[e.new_phys] = false;
       exec_result_ = e.result;
-      mark(sig_.prf + e.new_phys);
-      mark(sig_.rfx + e.dec.rd);
     }
     e.done = true;
   }
@@ -350,7 +265,6 @@ void Core::fast_commit(RobEntry& e, RunResult& res) {
     rename_.commit_free(e.old_phys);
     rec.writes_rd = true;
     rec.rd = e.dec.rd;
-    mark(sig_.freecount);
   }
   if (e.is_store) {
     dcache_.store(e.mem_addr, e.mem_size, e.store_value);
@@ -358,7 +272,6 @@ void Core::fast_commit(RobEntry& e, RunResult& res) {
     rec.store_addr = e.mem_addr;
     res.coverage.branch("lsu.store_mapped",
                         mem_.data_mapped(e.mem_addr, e.mem_size));
-    mark_dcache_set(e.mem_addr);
   }
   // writes_csr is impossible in the prefix (CSR ops are handoff triggers).
   if (e.is_halt) halted_ = true;
@@ -383,39 +296,7 @@ void Core::fast_retire(RunResult& res) {
   }
 }
 
-void Core::fast_capture(RunResult& res) {
-  const bool first = res.trace.empty();
-  res.trace.begin_cycle(cycle_);
-  if (first) {
-    // The first captured cycle seeds the trace's live-value array with a
-    // full sweep (toggles are not counted on the first cycle, matching
-    // the detailed capture); the dirty-set path takes over afterwards.
-    for (std::size_t i = 0; i < descs_.size(); ++i) {
-      res.trace.record(static_cast<snapshot::SignalId>(i),
-                       value_of(descs_[i], nullptr));
-    }
-    std::copy(base_dirty_words_.begin(), base_dirty_words_.end(),
-              dirty_words_.begin());
-    return;
-  }
-  std::uint64_t toggles = 0;
-  for (std::size_t w = 0; w < dirty_words_.size(); ++w) {
-    std::uint64_t bits = dirty_words_[w];
-    while (bits != 0) {
-      const std::size_t id = w * 64 +
-          static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      toggles += res.trace.record(static_cast<snapshot::SignalId>(id),
-                                  value_of(descs_[id], nullptr));
-    }
-  }
-  res.coverage.toggles(toggles);
-  std::copy(base_dirty_words_.begin(), base_dirty_words_.end(),
-            dirty_words_.begin());
-}
-
 Core::FastExit Core::fast_loop(std::uint64_t handoff_pc, RunResult& res) {
-  fast_init();
   while (!halted_ && cycle_ < cfg_.max_cycles) {
     // The boundary is the end of the previous cycle: stop when the NEXT
     // fetch would touch the handoff instruction. In-flight ROB entries
@@ -430,7 +311,7 @@ Core::FastExit Core::fast_loop(std::uint64_t handoff_pc, RunResult& res) {
     fast_execute();
     fast_issue(res);
     csr_.tick();
-    fast_capture(res);
+    capture(res);
     if (rob_count_ == 0 && fetch_done()) break;
   }
   return FastExit::kDone;

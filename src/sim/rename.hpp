@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/dirty_set.hpp"
 
 namespace specure::sim {
 
@@ -32,6 +33,22 @@ struct RenameState {
 class RenameStage {
  public:
   explicit RenameStage(const CoreConfig& cfg);
+
+  /// Attach the core's dirty set (capture engine contract): every mutation
+  /// below marks the flat signal ids it touches. The maptable/freecount/
+  /// prf bases are the block offsets from sim::signal_layout; `rfx_base`
+  /// is the architectural-view block, marked whenever a mutation can move
+  /// an arch register's value (the view is derived: rf.x[i] =
+  /// prf[maptable[i]], so both a remap and a PRF write dirty it).
+  void bind_dirty(DirtySet* dirty, std::size_t maptable_base,
+                  std::size_t freecount_id, std::size_t prf_base,
+                  std::size_t rfx_base) {
+    dirty_ = dirty;
+    maptable_base_ = maptable_base;
+    freecount_id_ = freecount_id;
+    prf_base_ = prf_base;
+    rfx_base_ = rfx_base;
+  }
 
   /// Current physical register holding architectural register `arch`.
   PhysReg map(unsigned arch) const { return maptable_[arch]; }
@@ -65,7 +82,15 @@ class RenameStage {
 
   // Physical register file.
   std::uint64_t prf(PhysReg p) const { return prf_[p]; }
-  void prf_write(PhysReg p, std::uint64_t value) { prf_[p] = value; }
+  void prf_write(PhysReg p, std::uint64_t value) {
+    prf_[p] = value;
+    if (dirty_ != nullptr) {
+      dirty_->mark(prf_base_ + p);
+      // A write to a currently-mapped physical register moves the
+      // architectural view of its arch register.
+      if (rev_[p] != kUnmapped) dirty_->mark(rfx_base_ + rev_[p]);
+    }
+  }
 
   /// Architectural view: value of arch register i through the map table.
   std::uint64_t arch_value(unsigned arch) const {
@@ -82,11 +107,27 @@ class RenameStage {
   void restore(const RenameState& state);
 
  private:
+  static constexpr std::uint8_t kUnmapped = 0xff;
+
+  /// Rebuild the phys->arch reverse map from the map table (after a
+  /// rollback restore or a state restore).
+  void rebuild_rev();
+
   const CoreConfig& cfg_;
   std::array<PhysReg, 32> maptable_{};
   std::vector<PhysReg> freelist_;
   std::vector<std::uint64_t> prf_;
   std::map<unsigned, std::array<PhysReg, 32>> checkpoints_;  ///< by ROB index
+
+  // Dirty-set wiring (capture engine): null until bind_dirty.
+  DirtySet* dirty_ = nullptr;
+  std::size_t maptable_base_ = 0;
+  std::size_t freecount_id_ = 0;
+  std::size_t prf_base_ = 0;
+  std::size_t rfx_base_ = 0;
+  /// Arch register currently mapped to each physical register (kUnmapped
+  /// when none) — lets prf_write dirty the derived rf.x view in O(1).
+  std::vector<std::uint8_t> rev_;
 };
 
 }  // namespace specure::sim

@@ -1,6 +1,7 @@
 #include "sim/structure.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "riscv/isa.hpp"
 
@@ -137,6 +138,118 @@ std::vector<SigDesc> describe_signals(const CoreConfig& cfg) {
   add(SigKind::kLsuTaintedAccess, 0, 0, "core.lsu.tainted_access", 1,
       SignalClass::kMicroarchitectural, true);
   return out;
+}
+
+SignalLayout signal_layout(const std::vector<SigDesc>& descs,
+                           const CoreConfig& cfg) {
+  SignalLayout lay;
+  lay.signals = descs.size();
+  bool have_rfx = false, have_csr = false, have_map = false, have_prf = false,
+       have_pht = false, have_btb = false, have_ras = false, have_dc = false,
+       have_tlb = false;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    switch (descs[i].kind) {
+      case SigKind::kFetchPc: lay.fetch_pc = i; break;
+      case SigKind::kRfX:
+        if (!have_rfx) { lay.rfx = i; have_rfx = true; }
+        break;
+      case SigKind::kCsr:
+        if (!have_csr) { lay.csr = i; have_csr = true; }
+        break;
+      case SigKind::kMapTable:
+        if (!have_map) { lay.maptable = i; have_map = true; }
+        break;
+      case SigKind::kFreeCount: lay.freecount = i; break;
+      case SigKind::kPrf:
+        if (!have_prf) { lay.prf = i; have_prf = true; }
+        break;
+      case SigKind::kRobHead: lay.rob_head = i; break;
+      case SigKind::kBpGhist: lay.bp_ghist = i; break;
+      case SigKind::kBpPht:
+        if (!have_pht) { lay.bp_pht = i; have_pht = true; }
+        break;
+      case SigKind::kBtbTag:
+        if (!have_btb) { lay.btb = i; have_btb = true; }
+        break;
+      case SigKind::kRas:
+        if (!have_ras) { lay.ras = i; have_ras = true; }
+        break;
+      case SigKind::kRasTop: lay.ras_top = i; break;
+      case SigKind::kDcValid:
+        if (!have_dc) { lay.dcache = i; have_dc = true; }
+        break;
+      case SigKind::kTlbValid:
+        if (!have_tlb) { lay.tlb = i; have_tlb = true; }
+        break;
+      case SigKind::kExecResult: lay.exec_result = i; break;
+      default: break;
+    }
+  }
+  lay.dcache_set_stride = std::size_t{3} * cfg.dcache_ways + 1;
+  lay.tlb_signals = std::size_t{3} * cfg.tlb_entries;
+
+  // Validate every contiguity / interleaving assumption the dirty-set
+  // marks rely on. A reordered describe_signals() must fail here, loudly,
+  // not record a stale trace.
+  auto expect = [&descs](std::size_t id, SigKind kind, const char* what) {
+    if (id >= descs.size() || descs[id].kind != kind) {
+      throw std::logic_error(std::string("signal_layout: ") + what +
+                             " violates the describe_signals layout "
+                             "contract (see ARCHITECTURE.md)");
+    }
+  };
+  expect(lay.fetch_pc, SigKind::kFetchPc, "fetch_pc");
+  for (std::size_t i = 0; i < 32; ++i) {
+    expect(lay.rfx + i, SigKind::kRfX, "rf.x block");
+    expect(lay.maptable + i, SigKind::kMapTable, "maptable block");
+  }
+  for (std::size_t i = 0; i < riscv::csr::kImplemented.size(); ++i) {
+    expect(lay.csr + i, SigKind::kCsr, "csr block");
+  }
+  expect(lay.freecount, SigKind::kFreeCount, "freelist_count");
+  for (std::size_t i = 0; i < cfg.phys_regs; ++i) {
+    expect(lay.prf + i, SigKind::kPrf, "prf block");
+  }
+  static constexpr SigKind kRobBlock[12] = {
+      SigKind::kRobHead,     SigKind::kRobTail,
+      SigKind::kRobCount,    SigKind::kRobUnsafe,
+      SigKind::kRobSpecPc,   SigKind::kRobSpecInst,
+      SigKind::kBrupdValid,  SigKind::kBrupdMispredict,
+      SigKind::kCommitValid, SigKind::kCommitPc,
+      SigKind::kCommitInst,  SigKind::kCommitRd};
+  for (std::size_t k = 0; k < 12; ++k) {
+    expect(lay.rob_head + k, kRobBlock[k], "rob/commit block");
+  }
+  for (std::size_t i = 0; i < cfg.btb_entries; ++i) {
+    expect(lay.btb + 2 * i, SigKind::kBtbTag, "btb tag/target interleave");
+    expect(lay.btb + 2 * i + 1, SigKind::kBtbTarget,
+           "btb tag/target interleave");
+  }
+  for (std::size_t i = 0; i < cfg.ras_entries; ++i) {
+    expect(lay.ras + i, SigKind::kRas, "ras block");
+  }
+  expect(lay.ras_top, SigKind::kRasTop, "ras_top");
+  for (std::size_t s = 0; s < cfg.dcache_sets; ++s) {
+    const std::size_t base = lay.dcache + s * lay.dcache_set_stride;
+    for (std::size_t w = 0; w < cfg.dcache_ways; ++w) {
+      expect(base + 3 * w, SigKind::kDcValid, "dcache set block");
+      expect(base + 3 * w + 1, SigKind::kDcTag, "dcache set block");
+      expect(base + 3 * w + 2, SigKind::kDcData, "dcache set block");
+    }
+    expect(base + 3 * cfg.dcache_ways, SigKind::kDcLru, "dcache set block");
+  }
+  for (std::size_t i = 0; i < cfg.tlb_entries; ++i) {
+    expect(lay.tlb + 3 * i, SigKind::kTlbValid, "tlb entry interleave");
+    expect(lay.tlb + 3 * i + 1, SigKind::kTlbVpn, "tlb entry interleave");
+    expect(lay.tlb + 3 * i + 2, SigKind::kTlbPpn, "tlb entry interleave");
+  }
+  static constexpr SigKind kWireBlock[4] = {
+      SigKind::kExecResult, SigKind::kLsuAddr, SigKind::kLsuLoadData,
+      SigKind::kLsuTaintedAccess};
+  for (std::size_t k = 0; k < 4; ++k) {
+    expect(lay.exec_result + k, kWireBlock[k], "exec/lsu wire block");
+  }
+  return lay;
 }
 
 std::vector<std::pair<std::string, std::string>> describe_flows(

@@ -56,6 +56,43 @@ struct SigDesc {
 /// Canonical signal list for a configuration.
 std::vector<SigDesc> describe_signals(const CoreConfig& cfg);
 
+/// Flat-id offsets of every component's signal block in the
+/// describe_signals() order — what the dirty-set capture engine hands to
+/// each component so mark(id) is base + index arithmetic. Computed once
+/// per Simulator; signal_layout() re-derives it from the actual desc list
+/// and throws if a block is missing or not laid out as assumed (the
+/// contiguity contract documented in ARCHITECTURE.md — anyone reordering
+/// describe_signals() trips this immediately, not a silent stale trace).
+struct SignalLayout {
+  std::size_t signals = 0;    ///< total signal count
+  std::size_t fetch_pc = 0;
+  std::size_t rfx = 0;        ///< base of the 32 architectural registers
+  std::size_t csr = 0;        ///< base of the implemented-CSR block
+  std::size_t maptable = 0;   ///< base of the 32 map-table entries
+  std::size_t freecount = 0;
+  std::size_t prf = 0;        ///< base of the physical register file
+  /// Base of the 12 contiguous ROB/pulse signals: head, tail, count,
+  /// unsafe, spec_pc, spec_inst, brupdate_valid, brupdate_mispredict,
+  /// commit valid/pc/inst/rd.
+  std::size_t rob_head = 0;
+  std::size_t bp_ghist = 0;
+  std::size_t bp_pht = 0;     ///< base of the packed PHT words
+  std::size_t btb = 0;        ///< base; entries interleave (tag_i, target_i)
+  std::size_t ras = 0;        ///< base of the RAS entries
+  std::size_t ras_top = 0;
+  std::size_t dcache = 0;     ///< base of set 0; sets are contiguous
+  std::size_t dcache_set_stride = 0;  ///< ways * (valid,tag,data) + lru
+  std::size_t tlb = 0;        ///< base; entries interleave (valid,vpn,ppn)
+  std::size_t tlb_signals = 0;
+  std::size_t exec_result = 0;  ///< exec/lsu_addr/load_data/tainted block
+};
+
+/// Locate (and validate) the signal blocks of `descs` as produced by
+/// describe_signals(cfg). Throws std::logic_error when the layout
+/// contract is violated.
+SignalLayout signal_layout(const std::vector<SigDesc>& descs,
+                           const CoreConfig& cfg);
+
 /// Static flow edges (by signal name) for a configuration. Includes the
 /// (M)WAIT dcache->mwait_timer and zenbleed_en->rename->rf edges when the
 /// corresponding emulations are configured.

@@ -17,6 +17,9 @@ bool Tlb::translate(std::uint64_t va, std::uint64_t& pa) {
   valid_[next_victim_] = 1;
   vpn_[next_victim_] = page;
   ppn_[next_victim_] = page;
+  if (dirty_ != nullptr) {
+    dirty_->mark_range(tlb_base_ + std::size_t{3} * next_victim_, 3);
+  }
   next_victim_ = (next_victim_ + 1) % valid_.size();
   return false;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/dirty_set.hpp"
 
 namespace specure::sim {
 
@@ -23,6 +24,14 @@ struct TlbState {
 class Tlb {
  public:
   explicit Tlb(const CoreConfig& cfg);
+
+  /// Attach the core's dirty set; entries interleave as (valid_i, vpn_i,
+  /// ppn_i) triples starting at `tlb_base`. A translate() miss fills the
+  /// round-robin victim and marks exactly that entry's triple.
+  void bind_dirty(DirtySet* dirty, std::size_t tlb_base) {
+    dirty_ = dirty;
+    tlb_base_ = tlb_base;
+  }
 
   /// Translate a virtual address. Returns true on TLB hit; a miss inserts
   /// the translation (round-robin replacement). `pa` is always valid.
@@ -43,6 +52,8 @@ class Tlb {
   std::vector<std::uint64_t> vpn_;
   std::vector<std::uint64_t> ppn_;
   unsigned next_victim_ = 0;
+  DirtySet* dirty_ = nullptr;
+  std::size_t tlb_base_ = 0;
 };
 
 }  // namespace specure::sim

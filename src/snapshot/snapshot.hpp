@@ -18,6 +18,7 @@
 // trace differential suite replays against.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -76,6 +77,31 @@ class Trace {
   /// bits toggled (0 when unchanged). Ids must arrive in strictly
   /// ascending order within a tick.
   unsigned record(SignalId id, std::uint64_t value);
+
+  /// Bulk dirty-set recorder — THE dirty-word scan loop, shared by the
+  /// detailed core and the fast tier. Walks the set bits of `dirty_words`
+  /// (one bit per signal id, ascending — which satisfies record()'s
+  /// ordering contract), evaluates each via `value_fn(id)`, and records
+  /// it for the open tick. Signals whose bit is clear are untouched: the
+  /// live array keeps their previous value, which is exactly what a full
+  /// sweep would have re-recorded (unchanged values append no event), so
+  /// a conservative superset dirty set yields a byte-identical event
+  /// stream. Returns the summed toggled-bit count.
+  template <typename ValueFn>
+  std::uint64_t record_dirty(const std::vector<std::uint64_t>& dirty_words,
+                             ValueFn&& value_fn) {
+    std::uint64_t toggles = 0;
+    for (std::size_t w = 0; w < dirty_words.size(); ++w) {
+      std::uint64_t bits = dirty_words[w];
+      while (bits != 0) {
+        const std::size_t id =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        toggles += record(static_cast<SignalId>(id), value_fn(id));
+      }
+    }
+    return toggles;
+  }
 
   /// Convenience recorder: one whole snapshot (all signals, SignalDb
   /// order). Equivalent to begin_cycle + record per signal.

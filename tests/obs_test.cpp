@@ -81,8 +81,8 @@ TEST(ObsRegistry, HistogramBucketBoundaries) {
   for (const std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 7ull, 8ull}) {
     h.record(0, v);
   }
-  const obs::HistogramSnapshot* hs =
-      reg.snapshot().histogram("hist/test_ns");
+  const obs::Snapshot snap = reg.snapshot();  // keep alive: hs points into it
+  const obs::HistogramSnapshot* hs = snap.histogram("hist/test_ns");
   ASSERT_NE(hs, nullptr);
   EXPECT_EQ(hs->count, 7u);
   EXPECT_EQ(hs->sum, 25u);
@@ -101,7 +101,8 @@ TEST(ObsRegistry, PercentileInterpolatesWithinBucket) {
   // 100 samples of the value 1000: every percentile must land inside
   // bucket_of(1000) = [512, 1023].
   for (int i = 0; i < 100; ++i) h.record(0, 1000);
-  const obs::HistogramSnapshot* hs = reg.snapshot().histogram("hist/p_ns");
+  const obs::Snapshot snap = reg.snapshot();  // keep alive: hs points into it
+  const obs::HistogramSnapshot* hs = snap.histogram("hist/p_ns");
   ASSERT_NE(hs, nullptr);
   for (const double p : {1.0, 50.0, 99.0}) {
     const double v = hs->percentile(p);

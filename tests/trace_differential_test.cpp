@@ -11,6 +11,7 @@
 #include "core/coverage_calc.hpp"
 #include "core/mst.hpp"
 #include "core/offline.hpp"
+#include "fuzz/mutator.hpp"
 #include "fuzz/seeds.hpp"
 #include "riscv/program.hpp"
 #include "sim/core.hpp"
@@ -206,6 +207,122 @@ TEST(TraceDifferential, WindowVcdMatchesWholeTraceTail) {
           width >= 64 ? ~0ULL : ((1ULL << width) - 1);
       ASSERT_EQ(parsed.values[t][i], snap.values[i] & mask);
     }
+  }
+}
+
+// --- Dirty-set capture sufficiency matrix -------------------------------
+//
+// The non-dense capture path walks only the signal ids the components
+// marked dirty this cycle (Trace::record_dirty); the dense config forces
+// the full per-cycle sweep through the very same Trace. A component that
+// under-marks — forgets one store-side LRU rotation, one rolled-back
+// map-table entry, one TLB fill — makes the two event streams diverge,
+// so byte-comparing them proves the dirty set is a superset of every
+// actual change (and record()'s no-op on unchanged values makes a
+// superset exact).
+
+sim::CoreConfig preset_cfg(const char* name) {
+  sim::CoreConfig cfg;
+  EXPECT_TRUE(sim::lookup_core_preset(name, cfg)) << name;
+  return cfg;
+}
+
+/// Everything the campaign consumes must be bit-identical: the event
+/// stream (via VCD byte-compare, which serializes every change event),
+/// toggle coverage, the commit log, and the architectural end state.
+void expect_bit_identical(const sim::RunResult& a, const sim::RunResult& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  std::ostringstream va, vb;
+  snapshot::write_vcd(va, a.trace, "miniboom");
+  snapshot::write_vcd(vb, b.trace, "miniboom");
+  EXPECT_EQ(va.str(), vb.str());
+  EXPECT_EQ(a.coverage.toggle_bits(), b.coverage.toggle_bits());
+  EXPECT_EQ(a.instructions_committed, b.instructions_committed);
+  EXPECT_EQ(a.halted_clean, b.halted_clean);
+  EXPECT_EQ(a.final_data, b.final_data);
+  ASSERT_EQ(a.commits.size(), b.commits.size());
+  for (std::size_t i = 0; i < a.commits.size(); ++i) {
+    const auto& x = a.commits[i];
+    const auto& y = b.commits[i];
+    EXPECT_EQ(x.cycle, y.cycle) << "commit " << i;
+    EXPECT_EQ(x.pc, y.pc) << "commit " << i;
+    EXPECT_EQ(x.inst, y.inst) << "commit " << i;
+    EXPECT_EQ(x.writes_rd, y.writes_rd) << "commit " << i;
+    EXPECT_EQ(x.rd, y.rd) << "commit " << i;
+    EXPECT_EQ(x.writes_csr, y.writes_csr) << "commit " << i;
+    EXPECT_EQ(x.csr, y.csr) << "commit " << i;
+    EXPECT_EQ(x.is_store, y.is_store) << "commit " << i;
+    EXPECT_EQ(x.store_addr, y.store_addr) << "commit " << i;
+  }
+}
+
+TEST(TraceDifferential, DirtyCaptureMatchesDenseSweepAcrossConfigs) {
+  // Every core preset exercises a different mark surface: mwait drives
+  // the CSR timer chain (dcache monitored-line hook), zenbleed the
+  // rollback suppression path, no-spec the degenerate pipeline, full
+  // everything at once. The corpus covers wrong-path execution and
+  // mispredict rollback (branch-mispredict and BTI seeds) plus random
+  // programs.
+  for (const char* preset :
+       {"default", "no-spec", "mwait", "zenbleed", "full"}) {
+    sim::CoreConfig cfg = preset_cfg(preset);
+    sim::Simulator dirty_sim(cfg);
+    cfg.record_dense_trace = true;
+    sim::Simulator dense_sim(cfg);
+    for (const auto& program : corpus()) {
+      const sim::RunResult dirty = dirty_sim.run(program);
+      const sim::RunResult dense = dense_sim.run(program);
+      SCOPED_TRACE(preset);
+      expect_bit_identical(dirty, dense);
+    }
+  }
+}
+
+TEST(TraceDifferential, TieredDirtyCaptureMatchesDenseUnderLoadsArm) {
+  // The fast tier shares the capture engine; a tiered run (both handoff
+  // policies — loads_arm is the cache-monitoring detector's conservative
+  // scan) must produce the dense reference's exact event stream.
+  sim::CoreConfig cfg = preset_cfg("full");
+  sim::Simulator tiered_sim(cfg);
+  cfg.record_dense_trace = true;
+  sim::Simulator dense_sim(cfg);
+  for (const auto& program : corpus()) {
+    const sim::RunResult dense = dense_sim.run(program);
+    for (const bool loads_arm : {false, true}) {
+      const auto& dec = tiered_sim.decode(program);
+      const std::size_t handoff = fuzz::handoff_index(dec, loads_arm);
+      sim::RunResult tiered(&tiered_sim.signal_db());
+      tiered_sim.run_tiered(program, handoff, tiered, nullptr, &dec);
+      SCOPED_TRACE(loads_arm ? "loads_arm" : "branches_only");
+      expect_bit_identical(tiered, dense);
+    }
+  }
+}
+
+TEST(TraceDifferential, CheckpointResumeMidKeyframeMatchesColdRun) {
+  // A resumed run's first captured cycle relies on the forked trace's
+  // live array plus that cycle's own dirty marks — no full re-sweep. The
+  // 24-cycle cadence forces checkpoints off the 64-tick keyframe grid,
+  // so the fork lands mid-keyframe (the replay-heavy path).
+  sim::Simulator s{sim::CoreConfig{}};
+  for (const auto& program : corpus()) {
+    sim::RunResult cold(&s.signal_db());
+    s.run(program, cold);
+    sim::CheckpointOptions opts;
+    opts.interval = 24;
+    std::vector<sim::Checkpoint> checkpoints;
+    sim::RunResult parent(&s.signal_db());
+    s.run(program, opts, checkpoints, parent);
+    std::size_t tested = 0;
+    for (const auto& ck : checkpoints) {
+      if (ck.cycle % 64 == 0) continue;  // keyframe-aligned: easy case
+      sim::RunResult resumed(&s.signal_db());
+      s.run_from(ck, parent.trace, parent.commits, program, resumed);
+      SCOPED_TRACE("checkpoint cycle " + std::to_string(ck.cycle));
+      expect_bit_identical(resumed, cold);
+      if (++tested == 3) break;  // bound test cost per program
+    }
+    EXPECT_GT(tested, 0u) << "no mid-keyframe checkpoint was saved";
   }
 }
 

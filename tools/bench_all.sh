@@ -20,6 +20,22 @@ if ! ls "$BUILD_DIR"/bench_* >/dev/null 2>&1; then
   exit 1
 fi
 
+# Committed BENCH_*.json baselines are perf contracts; numbers from a
+# non-Release build undercut every later comparison (it has happened:
+# a BENCH_micro.json was once recorded against a debug google-benchmark
+# build). Refuse outright unless the caller loudly opts in.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+if [ "${BUILD_TYPE:-unknown}" != "Release" ]; then
+  if [ "${SPECURE_BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+    echo "WARNING: recording benches from a ${BUILD_TYPE:-unknown} build" >&2
+    echo "WARNING: these numbers are NOT comparable to committed Release baselines" >&2
+  else
+    echo "refusing to record benches: $BUILD_DIR is a '${BUILD_TYPE:-unknown}' build, not Release" >&2
+    echo "(set SPECURE_BENCH_ALLOW_NONRELEASE=1 to override; results will be annotated)" >&2
+    exit 1
+  fi
+fi
+
 mkdir -p "$OUT_DIR"
 status=0
 for bench in "$BUILD_DIR"/bench_*; do
